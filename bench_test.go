@@ -1,0 +1,196 @@
+// Benchmark harness: one benchmark per paper table/figure (regenerating the
+// artifact end to end via the experiments registry) plus micro-benchmarks
+// of the hot paths. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Heavy experiment benches execute once per iteration; the default
+// -benchtime keeps b.N at 1 for them.
+package sendforget_test
+
+import (
+	"testing"
+
+	"sendforget/internal/degreemc"
+	"sendforget/internal/engine"
+	"sendforget/internal/experiments"
+	"sendforget/internal/globalmc"
+	"sendforget/internal/loss"
+	"sendforget/internal/markov"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/rng"
+	"sendforget/internal/runtime"
+	"sendforget/internal/transport"
+	"sendforget/internal/view"
+)
+
+// benchExperiment regenerates one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Paper artifacts (see DESIGN.md per-experiment index).
+
+func BenchmarkFig61(b *testing.B)  { benchExperiment(b, "fig6.1") }
+func BenchmarkFig62(b *testing.B)  { benchExperiment(b, "fig6.2") }
+func BenchmarkTab63(b *testing.B)  { benchExperiment(b, "tab6.3") }
+func BenchmarkFig63(b *testing.B)  { benchExperiment(b, "fig6.3") }
+func BenchmarkFig64(b *testing.B)  { benchExperiment(b, "fig6.4") }
+func BenchmarkCor614(b *testing.B) { benchExperiment(b, "cor6.14") }
+func BenchmarkLem66(b *testing.B)  { benchExperiment(b, "lem6.6") }
+func BenchmarkLem76(b *testing.B)  { benchExperiment(b, "lem7.6") }
+func BenchmarkLem78(b *testing.B)  { benchExperiment(b, "lem7.8") }
+func BenchmarkLem79(b *testing.B)  { benchExperiment(b, "lem7.9") }
+func BenchmarkTab74(b *testing.B)  { benchExperiment(b, "tab7.4") }
+func BenchmarkLem715(b *testing.B) { benchExperiment(b, "lem7.15") }
+
+// Exact global-chain verification (Lemmas 7.1/7.2/7.5/7.6 at n=3).
+
+func BenchmarkLem75(b *testing.B) { benchExperiment(b, "lem7.5") }
+
+// Baseline comparison, churn extension, and ablations.
+
+func BenchmarkBaselines(b *testing.B)          { benchExperiment(b, "base1") }
+func BenchmarkRandomWalk(b *testing.B)         { benchExperiment(b, "rw1") }
+func BenchmarkChurnWorkload(b *testing.B)      { benchExperiment(b, "churn1") }
+func BenchmarkAblationBurstLoss(b *testing.B)  { benchExperiment(b, "abl1") }
+func BenchmarkAblationDL(b *testing.B)         { benchExperiment(b, "abl2") }
+func BenchmarkAblationOpt(b *testing.B)        { benchExperiment(b, "abl3") }
+func BenchmarkAblationNonuniform(b *testing.B) { benchExperiment(b, "abl4") }
+
+// Micro-benchmarks of the hot paths.
+
+// BenchmarkEngineStep measures raw protocol-action throughput in the
+// sequential simulator (one S&F action per op, including loss decisions).
+func BenchmarkEngineStep(b *testing.B) {
+	proto, err := sendforget.New(sendforget.Config{N: 1000, S: 40, DL: 18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(proto, loss.MustUniform(0.01), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineStepTracked adds per-entry dependence tracking.
+func BenchmarkEngineStepTracked(b *testing.B) {
+	proto, err := sendforget.New(sendforget.Config{N: 1000, S: 40, DL: 18, TrackDependence: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(proto, loss.MustUniform(0.01), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkInitiateStep measures the bare protocol initiate step.
+func BenchmarkInitiateStep(b *testing.B) {
+	lv := view.New(40)
+	for i := 0; i < 28; i++ {
+		lv.Set(i, peer.ID(i+1))
+	}
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send, _, ok := sendforget.InitiateStep(lv, 0, 18, r)
+		if ok {
+			// Put the ids back so the view's occupancy stays stationary.
+			sendforget.ReceiveStep(lv, 40, send.IDs, r)
+		}
+	}
+}
+
+// BenchmarkDegreeMCSolveSmall solves a small degree MC to a fixed point.
+func BenchmarkDegreeMCSolveSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := degreemc.Solve(degreemc.Params{S: 16, DL: 6, Loss: 0.05}, degreemc.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStationary measures power iteration on a mid-size sparse chain.
+func BenchmarkStationary(b *testing.B) {
+	sp, err := degreemc.NewSpace(degreemc.Params{S: 40, DL: 18, Loss: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := sp.BuildChain(degreemc.Field{PFull: 0.01, Gap: 25, PDup: 0.06})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := markov.Stationary(chain, nil, 1e-9, 1000000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecRoundtrip measures wire marshal+unmarshal of an S&F
+// message.
+func BenchmarkCodecRoundtrip(b *testing.B) {
+	msg := protocol.Message{Kind: protocol.KindGossip, From: 7, IDs: []peer.ID{7, 42}, Dup: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := transport.Marshal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := transport.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRNGPair measures the uniform distinct-pair selection that every
+// protocol action performs.
+func BenchmarkRNGPair(b *testing.B) {
+	r := rng.New(3)
+	for i := 0; i < b.N; i++ {
+		r.Pair(40)
+	}
+}
+
+// BenchmarkRuntimeTick measures one concurrent-node gossip action over the
+// in-memory lossy network (lock acquisition + step + transport).
+func BenchmarkRuntimeTick(b *testing.B) {
+	cluster, err := runtime.NewCluster(runtime.ClusterConfig{
+		N: 64, S: 16, DL: 6, Loss: 0.02, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := cluster.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%len(nodes)].Tick()
+	}
+}
+
+// BenchmarkGlobalChainBuild measures exact state-space enumeration of the
+// n=3 lossy global chain.
+func BenchmarkGlobalChainBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := globalmc.Build(globalmc.Params{N: 3, S: 6, DL: 2, Loss: 0.1}, globalmc.Circulant(3, 2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

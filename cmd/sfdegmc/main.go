@@ -1,0 +1,61 @@
+// Command sfdegmc solves the degree Markov chain of Section 6.2 for given
+// parameters and prints the stationary degree distributions and moments.
+//
+// Example:
+//
+//	sfdegmc -s 40 -dl 18 -loss 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sendforget/internal/degreemc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sfdegmc", flag.ContinueOnError)
+	s := fs.Int("s", 40, "view size (even >= 6)")
+	dl := fs.Int("dl", 18, "duplication threshold (even, <= s-6)")
+	lossRate := fs.Float64("loss", 0, "uniform message loss rate")
+	sumCap := fs.Int("sumcap", 0, "sum degree cap (0 = paper's 3s)")
+	full := fs.Bool("full", false, "print full distributions, not just the bulk")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	res, err := degreemc.Solve(degreemc.Params{S: *s, DL: *dl, Loss: *lossRate, SumCap: *sumCap}, degreemc.SolveOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("states           %d\n", res.Space.Len())
+	fmt.Printf("outer iterations %d\n", res.OuterIterations)
+	fmt.Printf("outdegree        %.2f ± %.2f\n", res.MeanOut(), res.StdOut())
+	fmt.Printf("indegree         %.2f ± %.2f\n", res.MeanIn(), res.StdIn())
+	fmt.Printf("dup prob         %.4f (Lemma 6.7 bracket: [%.4f, l+delta])\n", res.DupProb, *lossRate)
+	fmt.Printf("del prob         %.4f (Lemma 6.6: dup = l + del = %.4f)\n", res.DelProb, *lossRate+res.DelProb)
+	fmt.Println("\noutdegree distribution:")
+	printDist(res.OutDist, 2, *full)
+	fmt.Println("\nindegree distribution:")
+	printDist(res.InDist, 1, *full)
+	return 0
+}
+
+// printDist prints a pmf, skipping negligible entries unless full is set.
+func printDist(dist []float64, stride int, full bool) {
+	for deg := 0; deg < len(dist); deg += stride {
+		if !full && dist[deg] < 1e-4 {
+			continue
+		}
+		bar := ""
+		for i := 0; i < int(dist[deg]*200); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%4d  %.4f  %s\n", deg, dist[deg], bar)
+	}
+}

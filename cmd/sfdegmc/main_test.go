@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if code := run([]string{"-s", "12", "-dl", "4", "-loss", "0.05"}); code != 0 {
+		t.Errorf("small solve exit = %d", code)
+	}
+}
+
+func TestRunFull(t *testing.T) {
+	if code := run([]string{"-s", "12", "-dl", "4", "-full"}); code != 0 {
+		t.Errorf("full print exit = %d", code)
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	if code := run([]string{"-s", "7"}); code != 1 {
+		t.Errorf("odd s exit = %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

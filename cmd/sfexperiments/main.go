@@ -1,0 +1,76 @@
+// Command sfexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sfexperiments -list
+//	sfexperiments -run fig6.3
+//	sfexperiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sendforget/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sfexperiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	all := fs.Bool("all", false, "run every experiment")
+	ids := fs.String("run", "", "comma-separated experiment ids to run")
+	csvDir := fs.String("csv", "", "also write each result table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return 0
+	}
+	var toRun []string
+	switch {
+	case *all:
+		toRun = experiments.IDs()
+	case *ids != "":
+		for _, id := range strings.Split(*ids, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				toRun = append(toRun, id)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -all, or -run id[,id...]")
+		return 2
+	}
+	failed := 0
+	for _, id := range toRun {
+		start := time.Now()
+		report, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(report)
+		if *csvDir != "" {
+			if err := report.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				failed++
+				continue
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list exit = %d", code)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	if code := run([]string{"-run", "tab7.4"}); code != 0 {
+		t.Errorf("-run tab7.4 exit = %d", code)
+	}
+}
+
+func TestRunMultiple(t *testing.T) {
+	if code := run([]string{"-run", "tab7.4, fig6.2"}); code != 0 {
+		t.Errorf("multi-run exit = %d", code)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if code := run([]string{"-run", "no-such"}); code != 1 {
+		t.Errorf("unknown id exit = %d, want 1", code)
+	}
+}
+
+func TestRunNothing(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

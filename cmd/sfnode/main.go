@@ -1,0 +1,152 @@
+// Command sfnode runs a single real S&F node over UDP — the protocol needs
+// nothing but fire-and-forget datagrams, the paper's practicality claim.
+//
+// Start a small cluster on localhost:
+//
+//	sfnode -id 0 -listen 127.0.0.1:7000 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002 -seeds 1,2
+//	sfnode -id 1 -listen 127.0.0.1:7001 -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 -seeds 0,2
+//	sfnode -id 2 -listen 127.0.0.1:7002 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001 -seeds 0,1
+//
+// Each node prints its view once per report interval. Stop with Ctrl-C;
+// leaving needs no protocol action (Section 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/runtime"
+	"sendforget/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sfnode", flag.ContinueOnError)
+	id := fs.Int("id", 0, "this node's id")
+	listen := fs.String("listen", "127.0.0.1:0", "UDP listen address")
+	peersFlag := fs.String("peers", "", "peer directory: id=host:port,id=host:port,...")
+	seedsFlag := fs.String("seeds", "", "comma-separated ids for the initial view (at least max(2, dl))")
+	s := fs.Int("s", 8, "view size (even >= 6)")
+	dl := fs.Int("dl", 2, "duplication threshold (even, <= s-6)")
+	period := fs.Duration("period", 250*time.Millisecond, "gossip period")
+	report := fs.Duration("report", 2*time.Second, "view report interval")
+	duration := fs.Duration("duration", 0, "stop after this long (0 = run until signal)")
+	advertise := fs.String("advertise", "", "address peers should learn for this node (default: the bound listen address)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	// The endpoint dispatches into the node. Peers may already list this
+	// node in their seed views and gossip at it before construction
+	// finishes, so the handoff is atomic; early datagrams are dropped
+	// (S&F tolerates loss by design).
+	var node atomic.Pointer[runtime.Node]
+	ep, err := transport.NewEndpoint(*listen, func(m protocol.Message) {
+		if n := node.Load(); n != nil {
+			n.HandleMessage(m)
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer ep.Close()
+	adv := *advertise
+	if adv == "" {
+		adv = ep.Addr().String()
+	}
+	if err := ep.EnableAddressLearning(peer.ID(*id), adv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := addPeers(ep, *peersFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	n, err := runtime.NewNode(runtime.NodeConfig{
+		ID: peer.ID(*id), S: *s, DL: *dl, Period: *period,
+	}, seeds, ep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	node.Store(n)
+	fmt.Printf("node n%d listening on %s (s=%d dL=%d period=%s)\n", *id, ep.Addr(), *s, *dl, *period)
+	n.Start()
+	defer n.Stop()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+	for {
+		select {
+		case <-ticker.C:
+			c := n.Counters()
+			fmt.Printf("view=%s sends=%d recvs=%d dups=%d dels=%d peers=%d(+%d learned)\n",
+				n.ViewSnapshot(), c.Sends, c.Receives, c.Duplications, c.Deletions,
+				ep.KnownPeers(), ep.LearnedPeers())
+		case <-sig:
+			fmt.Println("leaving (no protocol action needed)")
+			return 0
+		case <-deadline:
+			return 0
+		}
+	}
+}
+
+func parseSeeds(s string) ([]peer.ID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("sfnode: -seeds is required")
+	}
+	var out []peer.ID
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("sfnode: bad seed %q: %w", part, err)
+		}
+		out = append(out, peer.ID(v))
+	}
+	return out, nil
+}
+
+func addPeers(ep *transport.Endpoint, spec string) error {
+	if spec == "" {
+		return fmt.Errorf("sfnode: -peers is required")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("sfnode: bad peer entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return fmt.Errorf("sfnode: bad peer id %q: %w", kv[0], err)
+		}
+		if err := ep.AddPeer(peer.ID(id), kv[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"sendforget/internal/protocol"
+	"sendforget/internal/transport"
+)
+
+func TestParseSeeds(t *testing.T) {
+	seeds, err := parseSeeds("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 || seeds[0] != 1 || seeds[2] != 3 {
+		t.Errorf("parseSeeds = %v", seeds)
+	}
+	if _, err := parseSeeds(""); err == nil {
+		t.Error("accepted empty seeds")
+	}
+	if _, err := parseSeeds("1,x"); err == nil {
+		t.Error("accepted non-numeric seed")
+	}
+}
+
+func TestAddPeers(t *testing.T) {
+	ep, err := transport.NewEndpoint("127.0.0.1:0", func(protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := addPeers(ep, "1=127.0.0.1:9000, 2=127.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := addPeers(ep, ""); err == nil {
+		t.Error("accepted empty peers")
+	}
+	if err := addPeers(ep, "nokv"); err == nil {
+		t.Error("accepted malformed entry")
+	}
+	if err := addPeers(ep, "x=127.0.0.1:9000"); err == nil {
+		t.Error("accepted non-numeric id")
+	}
+	if err := addPeers(ep, "1=bad::addr::x"); err == nil {
+		t.Error("accepted bad address")
+	}
+}
+
+func TestRunForDuration(t *testing.T) {
+	args := []string{
+		"-id", "0",
+		"-listen", "127.0.0.1:0",
+		"-peers", "1=127.0.0.1:19999",
+		"-seeds", "1,1",
+		"-period", "5ms",
+		"-report", "20ms",
+		"-duration", "80ms",
+	}
+	done := make(chan int, 1)
+	go func() { done <- run(args) }()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("run exit = %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not terminate")
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-listen", "127.0.0.1:0"}); code != 2 {
+		t.Errorf("missing seeds exit = %d, want 2", code)
+	}
+	if code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "1,2"}); code != 2 {
+		t.Errorf("missing peers exit = %d, want 2", code)
+	}
+	if code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-s", "7"}); code != 2 {
+		t.Errorf("odd s exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,130 @@
+// Command sfsim runs a single membership simulation and prints the
+// property metrics of Section 2.
+//
+// Example:
+//
+//	sfsim -protocol sf -n 500 -s 40 -dl 18 -loss 0.05 -rounds 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sendforget/internal/engine"
+	"sendforget/internal/graph"
+	"sendforget/internal/loss"
+	"sendforget/internal/metrics"
+	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/flipper"
+	"sendforget/internal/protocol/pushpull"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/protocol/shuffle"
+	"sendforget/internal/rng"
+	"sendforget/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sfsim", flag.ContinueOnError)
+	protoName := fs.String("protocol", "sf", "protocol: sf, shuffle, flipper, or pushpull")
+	n := fs.Int("n", 500, "number of nodes")
+	s := fs.Int("s", 40, "view size (even)")
+	dl := fs.Int("dl", 18, "S&F duplication threshold (even)")
+	initDeg := fs.Int("init", 0, "initial outdegree (0 = default)")
+	lossRate := fs.Float64("loss", 0.01, "uniform message loss rate")
+	rounds := fs.Int("rounds", 300, "rounds to run (n actions each)")
+	seed := fs.Int64("seed", 1, "random seed")
+	deps := fs.Bool("deps", true, "track dependence (S&F only)")
+	traceFile := fs.String("trace", "", "write a JSONL action trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var (
+		proto protocol.Protocol
+		sf    *sendforget.Protocol
+		err   error
+	)
+	switch *protoName {
+	case "sf":
+		sf, err = sendforget.New(sendforget.Config{
+			N: *n, S: *s, DL: *dl, InitDegree: *initDeg, TrackDependence: *deps,
+		})
+		proto = sf
+	case "shuffle":
+		proto, err = shuffle.New(shuffle.Config{N: *n, S: *s, InitDegree: *initDeg})
+	case "flipper":
+		proto, err = flipper.New(flipper.Config{N: *n, S: *s, Degree: *initDeg})
+	case "pushpull":
+		proto, err = pushpull.New(pushpull.Config{N: *n, S: *s, InitDegree: *initDeg})
+	default:
+		err = fmt.Errorf("unknown protocol %q", *protoName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	lm, err := loss.NewUniform(*lossRate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	e, err := engine.New(proto, lm, rng.New(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		rec := trace.NewRecorder(f)
+		rec.Attach(e)
+		defer func() {
+			if err := rec.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+		}()
+	}
+	e.Run(*rounds)
+	printSummary(e, proto, sf, *n)
+	return 0
+}
+
+func printSummary(e *engine.Engine, proto protocol.Protocol, sf *sendforget.Protocol, n int) {
+	g := e.Snapshot()
+	deg := metrics.Degrees(g, nil)
+	c := e.Counters()
+	fmt.Printf("protocol        %s\n", proto.Name())
+	fmt.Printf("steps           %d (sends %d, losses %d, deliveries %d)\n", c.Steps, c.Sends, c.Losses, c.Deliveries)
+	fmt.Printf("empirical loss  %.4f\n", c.LossRate())
+	fmt.Printf("edges           %d (%.2f per node)\n", g.NumEdges(), float64(g.NumEdges())/float64(n))
+	fmt.Printf("outdegree       %.2f (var %.2f)\n", deg.MeanOut, deg.VarOut)
+	fmt.Printf("indegree        %.2f (var %.2f, min %d, max %d)\n", deg.MeanIn, deg.VarIn, deg.MinIn, deg.MaxIn)
+	fmt.Printf("components      %d (weakly connected: %v)\n", g.ComponentCount(), g.WeaklyConnected())
+	printDependence(g, sf)
+}
+
+func printDependence(g *graph.Graph, sf *sendforget.Protocol) {
+	sd := metrics.MeasureSpatialDependence(g)
+	fmt.Printf("self-edges      %d, same-view duplicates %d (visible dependent fraction %.4f)\n",
+		sd.SelfEdges, sd.Duplicates, sd.DependentFraction())
+	if sf == nil {
+		return
+	}
+	pc := sf.Counters()
+	if pc.Sends > 0 {
+		fmt.Printf("dup prob        %.4f, deletion prob %.4f (Lemma 6.6: dup = loss + del)\n",
+			float64(pc.Duplications)/float64(pc.Sends), float64(pc.Deletions)/float64(pc.Sends))
+	}
+	if st := sf.DependenceStats(); st.Entries > 0 {
+		fmt.Printf("alpha           %.4f (independent entries, Lemma 7.9)\n", st.Alpha())
+	}
+}

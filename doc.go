@@ -1,0 +1,16 @@
+// Package sendforget is a reproduction of "Correctness of Gossip-Based
+// Membership under Message Loss" (Gurevich and Keidar, PODC 2009; extended
+// version SIAM J. Comput. 39(8), 2010).
+//
+// The repository implements the Send & Forget (S&F) gossip membership
+// protocol, the paper's analytical machinery (degree Markov chain, threshold
+// selection, decay and independence bounds), baseline protocols, a
+// discrete-event simulator, a concurrent goroutine runtime, and a benchmark
+// harness that regenerates every figure and table in the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results. The root package holds only documentation
+// and the top-level benchmark harness (bench_test.go); the implementation
+// lives under internal/, the binaries under cmd/, and runnable examples under
+// examples/.
+package sendforget

@@ -1,0 +1,3 @@
+module sendforget
+
+go 1.22

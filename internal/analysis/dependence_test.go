@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"sendforget/internal/markov"
+)
+
+func TestDependenceChainStationaryMatchesClosedForm(t *testing.T) {
+	for _, rates := range [][2]float64{{0, 0.01}, {0.01, 0.01}, {0.05, 0.01}, {0.1, 0.02}} {
+		l, delta := rates[0], rates[1]
+		chain, err := DependenceChain(l, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := markov.Validate(chain); err != nil {
+			t.Fatal(err)
+		}
+		pi, _, err := markov.Stationary(chain, nil, 1e-13, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DependentFraction(l, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pi[1]-want) > 1e-9 {
+			t.Errorf("l=%v delta=%v: chain stationary %v != closed form %v", l, delta, pi[1], want)
+		}
+	}
+}
+
+func TestDependentFractionZeroAtZeroRates(t *testing.T) {
+	got, err := DependentFraction(0, 0)
+	if err != nil || got != 0 {
+		t.Errorf("DependentFraction(0,0) = %v, %v; want 0", got, err)
+	}
+}
+
+func TestVerifyLemma79AlgebraGrid(t *testing.T) {
+	// The final inequality of Lemma 7.9 must hold across the moderate-rate
+	// grid the paper targets (l+delta well below 1/2).
+	for _, l := range []float64{0, 0.005, 0.01, 0.05, 0.1, 0.2} {
+		for _, delta := range []float64{0, 0.005, 0.01, 0.05} {
+			frac, bound, err := VerifyLemma79Algebra(l, delta)
+			if err != nil {
+				t.Errorf("l=%v delta=%v: %v", l, delta, err)
+				continue
+			}
+			if frac < 0 || frac > 1 || bound < 0 {
+				t.Errorf("l=%v delta=%v: degenerate values frac=%v bound=%v", l, delta, frac, bound)
+			}
+			// The fraction grows roughly like 9/5*(l+delta) for small
+			// rates; sanity-check the leading constant.
+			if l+delta > 0 && l+delta < 0.05 {
+				ratio := frac / (l + delta)
+				if ratio < 1.5 || ratio > 2.0 {
+					t.Errorf("l=%v delta=%v: fraction/(l+delta) = %v, want in [1.5, 2]", l, delta, ratio)
+				}
+			}
+		}
+	}
+}
+
+func TestDependenceChainValidation(t *testing.T) {
+	if _, err := DependenceChain(-0.1, 0); err == nil {
+		t.Error("accepted negative loss")
+	}
+	if _, err := DependentFraction(0.8, 0.5); err == nil {
+		t.Error("accepted l+delta >= 1")
+	}
+}

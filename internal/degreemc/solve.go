@@ -1,0 +1,182 @@
+package degreemc
+
+import (
+	"fmt"
+
+	"sendforget/internal/markov"
+	"sendforget/internal/stats"
+)
+
+// SolveOptions tune the fixed-point computation. The zero value selects
+// defaults suitable for the paper's parameter ranges.
+type SolveOptions struct {
+	// InitOut/InitIn seed the first population distribution with a point
+	// mass. Both zero selects (dL+s)/2 rounded to even, with matching
+	// indegree (sum degree 3d as in Section 6.1's initialization).
+	InitOut, InitIn int
+	// InnerTol is the power-iteration total-variation tolerance
+	// (default 1e-11).
+	InnerTol float64
+	// InnerMaxIter bounds power iterations per outer round (default 400000).
+	InnerMaxIter int
+	// OuterTol is the fixed-point tolerance on successive stationary
+	// distributions (default 1e-9).
+	OuterTol float64
+	// OuterMaxIter bounds fixed-point rounds (default 200).
+	OuterMaxIter int
+	// Damping is the mixing weight of the new stationary distribution into
+	// the running iterate, in (0, 1]. The undamped iteration (1.0) can
+	// oscillate between two field regimes; the default 0.5 collapses the
+	// 2-cycle onto the physical fixed point.
+	Damping float64
+}
+
+func (o SolveOptions) withDefaults(par Params) SolveOptions {
+	if o.InitOut == 0 && o.InitIn == 0 {
+		d := (par.DL + par.S) / 2
+		if d%2 != 0 {
+			d--
+		}
+		if d < par.DL {
+			d = par.DL
+		}
+		o.InitOut = d
+		o.InitIn = d
+	}
+	if o.InnerTol == 0 {
+		o.InnerTol = 1e-11
+	}
+	if o.InnerMaxIter == 0 {
+		o.InnerMaxIter = 400000
+	}
+	if o.OuterTol == 0 {
+		o.OuterTol = 1e-9
+	}
+	if o.OuterMaxIter == 0 {
+		o.OuterMaxIter = 200
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.5
+	}
+	return o
+}
+
+// Result is the solved steady-state degree behaviour of the tagged node.
+type Result struct {
+	Space *Space
+	// Pi is the stationary distribution over Space.States().
+	Pi []float64
+	// Field holds the mean-field quantities at the fixed point.
+	Field Field
+	// OutDist[d] is the stationary P(outdegree = d), d in 0..s.
+	OutDist []float64
+	// InDist[i] is the stationary P(indegree = i).
+	InDist []float64
+	// OuterIterations counts fixed-point rounds used.
+	OuterIterations int
+	// DupProb is the steady-state probability that an active initiation
+	// duplicates (Lemma 6.7 bounds it by l + delta from above and l from
+	// below).
+	DupProb float64
+	// DelProb is the steady-state probability that an active initiation
+	// leads to a deletion (delivered to a full view).
+	DelProb float64
+}
+
+// MeanOut returns the expected outdegree dE.
+func (r *Result) MeanOut() float64 { return stats.DistMean(r.OutDist) }
+
+// MeanIn returns the expected indegree Din.
+func (r *Result) MeanIn() float64 { return stats.DistMean(r.InDist) }
+
+// StdOut returns the outdegree standard deviation.
+func (r *Result) StdOut() float64 { return stats.DistStdDev(r.OutDist) }
+
+// StdIn returns the indegree standard deviation.
+func (r *Result) StdIn() float64 { return stats.DistStdDev(r.InDist) }
+
+// Solve runs the fixed-point iteration of Section 6.2 and returns the
+// steady-state result.
+func Solve(par Params, opts SolveOptions) (*Result, error) {
+	sp, err := NewSpace(par)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(par)
+	init := State{Out: opts.InitOut, In: opts.InitIn}
+	k0, ok := sp.Index(init)
+	if !ok {
+		return nil, fmt.Errorf("degreemc: initial state %+v outside state space", init)
+	}
+	rho := make([]float64, sp.Len())
+	rho[k0] = 1
+
+	if opts.Damping <= 0 || opts.Damping > 1 {
+		return nil, fmt.Errorf("degreemc: damping %v outside (0, 1]", opts.Damping)
+	}
+	var field Field
+	for outer := 1; outer <= opts.OuterMaxIter; outer++ {
+		field, err = sp.DeriveField(rho)
+		if err != nil {
+			return nil, err
+		}
+		chain, err := sp.BuildChain(field)
+		if err != nil {
+			return nil, err
+		}
+		stat, _, err := markov.Stationary(chain, rho, opts.InnerTol, opts.InnerMaxIter)
+		if err != nil {
+			return nil, fmt.Errorf("degreemc: outer round %d: %w", outer, err)
+		}
+		// The residual is the distance of the iterate from its image; the
+		// damped update shrinks oscillation while sharing the fixed point.
+		if markov.TV(rho, stat) < opts.OuterTol {
+			return sp.buildResult(par, stat, outer)
+		}
+		for k := range rho {
+			rho[k] = (1-opts.Damping)*rho[k] + opts.Damping*stat[k]
+		}
+	}
+	return nil, fmt.Errorf("degreemc: fixed point did not converge in %d rounds", opts.OuterMaxIter)
+}
+
+// buildResult assembles marginals and steady-state event probabilities.
+func (sp *Space) buildResult(par Params, pi []float64, outer int) (*Result, error) {
+	field, err := sp.DeriveField(pi)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Space:           sp,
+		Pi:              pi,
+		Field:           field,
+		OutDist:         make([]float64, par.S+1),
+		OuterIterations: outer,
+	}
+	maxIn := 0
+	for _, st := range sp.states {
+		if st.In > maxIn {
+			maxIn = st.In
+		}
+	}
+	r.InDist = make([]float64, maxIn+1)
+	// Event probabilities are activity-weighted: an active initiation by a
+	// node at outdegree d occurs at rate d(d-1).
+	var actW, dupW float64
+	for k, st := range sp.states {
+		p := pi[k]
+		r.OutDist[st.Out] += p
+		r.InDist[st.In] += p
+		w := p * float64(st.Out*(st.Out-1))
+		actW += w
+		if st.Out == par.DL {
+			dupW += w
+		}
+	}
+	if actW > 0 {
+		r.DupProb = dupW / actW
+		// A deletion happens when a delivered message finds a full view.
+		r.DelProb = (1 - par.Loss) * field.PFull
+	}
+	return r, nil
+}

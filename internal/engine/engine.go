@@ -1,0 +1,241 @@
+// Package engine is the sequential discrete-event simulator realizing the
+// paper's analysis model (Section 5): "a central entity repeatedly selects a
+// random node, invokes its InitiateAction method, and waits for the
+// completion of the receive by the receiving node (in case a message was
+// sent)".
+//
+// Each Step picks an active node uniformly at random (Proposition 5.2),
+// runs its initiate step, subjects every emitted message — including replies
+// of bidirectional baselines — to the loss model, and runs the receive steps
+// of delivered messages. A Round is n such steps, n the number of active
+// nodes: "the period of time during which each node is expected to initiate
+// exactly one action" (Section 6.5).
+package engine
+
+import (
+	"fmt"
+
+	"sendforget/internal/graph"
+	"sendforget/internal/loss"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Counters aggregates transport-level events across a run.
+type Counters struct {
+	Steps       int // initiate steps executed
+	Sends       int // messages emitted (including replies)
+	Losses      int // messages dropped by the loss model
+	Deliveries  int // messages delivered to active nodes
+	DeadLetters int // messages addressed to departed nodes
+}
+
+// LossRate returns the empirical loss fraction over all sends.
+func (c Counters) LossRate() float64 {
+	if c.Sends == 0 {
+		return 0
+	}
+	return float64(c.Losses) / float64(c.Sends)
+}
+
+// Engine drives one protocol instance. Not safe for concurrent use.
+type Engine struct {
+	proto    protocol.Protocol
+	loss     loss.Model
+	r        *rng.RNG
+	active   []peer.ID // scheduling pool
+	idx      map[peer.ID]int
+	counters Counters
+
+	// OnStep, when non-nil, runs after every step with the step index.
+	// Metrics collectors hook here.
+	OnStep func(step int)
+	// OnAction, when non-nil, receives a structured event per step —
+	// tracing and fine-grained measurement hook.
+	OnAction func(ev ActionEvent)
+}
+
+// ActionEvent describes one protocol step for observers.
+type ActionEvent struct {
+	// Step is the 1-based step index.
+	Step int
+	// Initiator is the node whose action ran.
+	Initiator peer.ID
+	// Sent reports whether the action emitted a message (false = self-loop).
+	Sent bool
+	// To is the first message's destination (valid when Sent).
+	To peer.ID
+	// Lost reports whether any message of the action was dropped by the
+	// loss model; DeadLetters counts messages to departed nodes; Delivered
+	// counts successful deliveries (greater than one for reply chains).
+	Lost        bool
+	DeadLetters int
+	Delivered   int
+}
+
+// New builds an engine over proto with the given loss model and randomness.
+// All nodes the protocol reports active join the scheduling pool.
+func New(proto protocol.Protocol, lm loss.Model, r *rng.RNG) (*Engine, error) {
+	if proto == nil || lm == nil || r == nil {
+		return nil, fmt.Errorf("engine: nil dependency")
+	}
+	e := &Engine{proto: proto, loss: lm, r: r, idx: make(map[peer.ID]int)}
+	churner, isChurner := proto.(protocol.Churner)
+	for u := 0; u < proto.N(); u++ {
+		id := peer.ID(u)
+		if !isChurner || churner.Active(id) {
+			e.addActive(id)
+		}
+	}
+	if len(e.active) == 0 {
+		return nil, fmt.Errorf("engine: protocol has no active nodes")
+	}
+	return e, nil
+}
+
+// Protocol returns the driven protocol.
+func (e *Engine) Protocol() protocol.Protocol { return e.proto }
+
+// Counters returns a copy of the transport counters.
+func (e *Engine) Counters() Counters { return e.counters }
+
+// ActiveCount returns the number of schedulable nodes.
+func (e *Engine) ActiveCount() int { return len(e.active) }
+
+// Step executes one protocol action by a uniformly random active node.
+func (e *Engine) Step() {
+	u := e.active[e.r.Intn(len(e.active))]
+	e.StepAt(u)
+}
+
+// StepAt executes one protocol action initiated by u. Experiments measuring
+// a specific node's behaviour (Section 6.5 joins) use it directly.
+func (e *Engine) StepAt(u peer.ID) {
+	e.counters.Steps++
+	ev := ActionEvent{Step: e.counters.Steps, Initiator: u}
+	to, msg, ok := e.proto.Initiate(u, e.r)
+	if ok {
+		ev.Sent = true
+		ev.To = to
+		e.transmit(to, msg, &ev)
+	}
+	if e.OnStep != nil {
+		e.OnStep(e.counters.Steps)
+	}
+	if e.OnAction != nil {
+		e.OnAction(ev)
+	}
+}
+
+// transmit subjects msg to loss and delivers it, following reply chains
+// (each reply is again subject to loss). Destination-aware models
+// (loss.DestinationModel) receive the target so nonuniform loss can be
+// simulated.
+func (e *Engine) transmit(to peer.ID, msg protocol.Message, ev *ActionEvent) {
+	destModel, destAware := e.loss.(loss.DestinationModel)
+	for {
+		e.counters.Sends++
+		lost := false
+		if destAware {
+			lost = destModel.LostTo(to, e.r)
+		} else {
+			lost = e.loss.Lost(e.r)
+		}
+		if lost {
+			e.counters.Losses++
+			ev.Lost = true
+			return
+		}
+		if _, isActive := e.idx[to]; !isActive {
+			// The destination left or failed: the message is silently
+			// dropped, exactly as in the paper ("every message sent to this
+			// node causes its id to be deleted from the sender's view").
+			e.counters.DeadLetters++
+			ev.DeadLetters++
+			return
+		}
+		e.counters.Deliveries++
+		ev.Delivered++
+		reply, replyTo, hasReply := e.proto.Deliver(to, msg, e.r)
+		if !hasReply {
+			return
+		}
+		to, msg = replyTo, reply
+	}
+}
+
+// Round executes one round: as many steps as there are active nodes.
+func (e *Engine) Round() {
+	for i, n := 0, len(e.active); i < n; i++ {
+		e.Step()
+	}
+}
+
+// Run executes the given number of rounds.
+func (e *Engine) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Round()
+	}
+}
+
+// Snapshot returns the current membership graph.
+func (e *Engine) Snapshot() *graph.Graph {
+	return graph.FromViews(e.Views())
+}
+
+// Views collects per-node views (nil for departed nodes). Callers must
+// treat the views as read-only.
+func (e *Engine) Views() []*view.View {
+	out := make([]*view.View, e.proto.N())
+	for u := 0; u < e.proto.N(); u++ {
+		out[u] = e.proto.View(peer.ID(u))
+	}
+	return out
+}
+
+// Join activates node u with the given seed view and adds it to the
+// scheduling pool. The protocol must implement protocol.Churner.
+func (e *Engine) Join(u peer.ID, seeds []peer.ID) error {
+	churner, ok := e.proto.(protocol.Churner)
+	if !ok {
+		return fmt.Errorf("engine: protocol %q does not support churn", e.proto.Name())
+	}
+	if err := churner.Join(u, seeds); err != nil {
+		return err
+	}
+	e.addActive(u)
+	return nil
+}
+
+// Leave removes node u from the protocol and the scheduling pool.
+func (e *Engine) Leave(u peer.ID) error {
+	churner, ok := e.proto.(protocol.Churner)
+	if !ok {
+		return fmt.Errorf("engine: protocol %q does not support churn", e.proto.Name())
+	}
+	churner.Leave(u)
+	e.removeActive(u)
+	return nil
+}
+
+func (e *Engine) addActive(u peer.ID) {
+	if _, ok := e.idx[u]; ok {
+		return
+	}
+	e.idx[u] = len(e.active)
+	e.active = append(e.active, u)
+}
+
+func (e *Engine) removeActive(u peer.ID) {
+	i, ok := e.idx[u]
+	if !ok {
+		return
+	}
+	last := len(e.active) - 1
+	e.active[i] = e.active[last]
+	e.idx[e.active[i]] = i
+	e.active = e.active[:last]
+	delete(e.idx, u)
+}

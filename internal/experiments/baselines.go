@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sendforget/internal/engine"
+	"sendforget/internal/loss"
+	"sendforget/internal/metrics"
+	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/flipper"
+	"sendforget/internal/protocol/pushpull"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/protocol/shuffle"
+	"sendforget/internal/rng"
+)
+
+// BaselinesParams configures the Section 3.1 baseline comparison.
+type BaselinesParams struct {
+	N, S       int
+	DL         int // S&F duplication threshold
+	Loss       float64
+	Rounds     int
+	Checkpoint int
+	Seed       int64
+}
+
+func (p *BaselinesParams) setDefaults() {
+	if p.N == 0 {
+		p.N = 500
+	}
+	if p.S == 0 {
+		p.S = 20
+	}
+	if p.DL == 0 {
+		p.DL = 8
+	}
+	if p.Loss == 0 {
+		p.Loss = 0.05
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 400
+	}
+	if p.Checkpoint == 0 {
+		p.Checkpoint = 50
+	}
+	if p.Seed == 0 {
+		p.Seed = 31
+	}
+}
+
+// Baselines reproduces the Section 3.1 taxonomy claims head-to-head under
+// identical loss: delete-on-send shuffle gradually loses ids; keep-on-send
+// push-pull is loss-immune but spatially dependent; S&F holds its edge
+// population with bounded dependence.
+func Baselines(p BaselinesParams) (*Report, error) {
+	p.setDefaults()
+	r := &Report{
+		ID:     "base1",
+		Title:  "S&F vs shuffle (delete-on-send) vs push-pull (keep-on-send) under loss",
+		Params: fmt.Sprintf("n=%d s=%d dL(S&F)=%d l=%g rounds=%d", p.N, p.S, p.DL, p.Loss, p.Rounds),
+	}
+	initDeg := p.S / 2
+	build := func(name string) (protocol.Protocol, error) {
+		switch name {
+		case "send&forget":
+			return sendforget.New(sendforget.Config{N: p.N, S: p.S, DL: p.DL, InitDegree: initDeg})
+		case "shuffle":
+			return shuffle.New(shuffle.Config{N: p.N, S: p.S, InitDegree: initDeg})
+		case "flipper":
+			return flipper.New(flipper.Config{N: p.N, S: p.S, Degree: initDeg})
+		case "push-pull":
+			return pushpull.New(pushpull.Config{N: p.N, S: p.S, InitDegree: initDeg})
+		default:
+			return nil, fmt.Errorf("unknown protocol %q", name)
+		}
+	}
+	names := []string{"send&forget", "shuffle", "flipper", "push-pull"}
+
+	edges := Table{Title: "Edges per node over time", Columns: []string{"round"}}
+	for _, n := range names {
+		edges.Columns = append(edges.Columns, n)
+	}
+	finals := Table{
+		Title:   "Final state",
+		Columns: []string{"protocol", "edges/node", "components", "self+dup fraction", "indegree var"},
+	}
+
+	checkpoints := p.Rounds/p.Checkpoint + 1
+	series := make([][]float64, len(names))
+	for i, name := range names {
+		proto, err := build(name)
+		if err != nil {
+			return nil, err
+		}
+		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(p.Seed+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		series[i] = make([]float64, 0, checkpoints)
+		for c := 0; c < checkpoints; c++ {
+			if c > 0 {
+				e.Run(p.Checkpoint)
+			}
+			g := e.Snapshot()
+			series[i] = append(series[i], float64(g.NumEdges())/float64(p.N))
+		}
+		g := e.Snapshot()
+		sd := metrics.MeasureSpatialDependence(g)
+		deg := metrics.Degrees(g, nil)
+		finals.AddRow(name,
+			f2(float64(g.NumEdges())/float64(p.N)),
+			d(g.ComponentCount()),
+			f4(sd.DependentFraction()),
+			f2(deg.VarIn),
+		)
+	}
+	for c := 0; c < checkpoints; c++ {
+		row := []string{d(c * p.Checkpoint)}
+		for i := range names {
+			row = append(row, f2(series[i][c]))
+		}
+		edges.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, edges, finals)
+	r.Notes = append(r.Notes,
+		"shuffle's and flipper's id populations decay toward collapse (Section 3.1: delete-on-send protocols 'are unable to withstand message loss')",
+		"push-pull never loses ids but accumulates visible dependence (duplicates/self-edges)",
+		"S&F stabilizes: duplications replace exactly the ids that loss destroys (Lemma 6.6)",
+	)
+	return r, nil
+}
+
+// AblationBurstParams configures the burst-loss ablation.
+type AblationBurstParams struct {
+	N, S, DL  int
+	Rate      float64
+	BurstLens []float64
+	Rounds    int
+	Seed      int64
+}
+
+func (p *AblationBurstParams) setDefaults() {
+	if p.N == 0 {
+		p.N = 400
+	}
+	if p.S == 0 {
+		p.S = 40
+	}
+	if p.DL == 0 {
+		p.DL = 18
+	}
+	if p.Rate == 0 {
+		p.Rate = 0.05
+	}
+	if p.BurstLens == nil {
+		p.BurstLens = []float64{1, 10, 50}
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 300
+	}
+	if p.Seed == 0 {
+		p.Seed = 11
+	}
+}
+
+// AblationBurst compares S&F under uniform i.i.d. loss (the paper's model)
+// against Gilbert-Elliott bursty loss at the same average rate — probing how
+// far the paper's i.i.d. assumption carries.
+func AblationBurst(p AblationBurstParams) (*Report, error) {
+	p.setDefaults()
+	r := &Report{
+		ID:     "abl1",
+		Title:  "Uniform vs bursty loss at equal average rate (extension)",
+		Params: fmt.Sprintf("n=%d s=%d dL=%d rate=%g rounds=%d", p.N, p.S, p.DL, p.Rate, p.Rounds),
+	}
+	t := Table{Columns: []string{"loss model", "measured loss", "edges/node", "mean out", "indegree var", "components", "alpha"}}
+	run := func(name string, lm loss.Model, seed int64) error {
+		proto, err := sendforget.New(sendforget.Config{N: p.N, S: p.S, DL: p.DL, TrackDependence: true})
+		if err != nil {
+			return err
+		}
+		e, err := engine.New(proto, lm, rng.New(seed))
+		if err != nil {
+			return err
+		}
+		e.Run(p.Rounds)
+		g := e.Snapshot()
+		deg := metrics.Degrees(g, nil)
+		t.AddRow(name,
+			f4(e.Counters().LossRate()),
+			f2(float64(g.NumEdges())/float64(p.N)),
+			f2(deg.MeanOut),
+			f2(deg.VarIn),
+			d(g.ComponentCount()),
+			f4(proto.DependenceStats().Alpha()),
+		)
+		return nil
+	}
+	if err := run("uniform", loss.MustUniform(p.Rate), p.Seed); err != nil {
+		return nil, err
+	}
+	for i, bl := range p.BurstLens {
+		if bl <= 1 {
+			continue
+		}
+		ge, err := loss.BurstyWithRate(p.Rate, bl)
+		if err != nil {
+			return nil, err
+		}
+		if err := run(fmt.Sprintf("bursty(len=%g)", bl), ge, p.Seed+int64(i)+1); err != nil {
+			return nil, err
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"at equal average rates, S&F's steady state is nearly insensitive to burstiness: duplication reacts to the average id-destruction rate, not its correlation structure",
+	)
+	return r, nil
+}
+
+// AblationDLParams configures the duplication-threshold sweep.
+type AblationDLParams struct {
+	N, S   int
+	Loss   float64
+	DLs    []int
+	Rounds int
+	Seed   int64
+}
+
+func (p *AblationDLParams) setDefaults() {
+	if p.N == 0 {
+		p.N = 400
+	}
+	if p.S == 0 {
+		p.S = 40
+	}
+	if p.Loss == 0 {
+		p.Loss = 0.05
+	}
+	if p.DLs == nil {
+		p.DLs = []int{0, 6, 12, 18, 24, 30, 34}
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 400
+	}
+	if p.Seed == 0 {
+		p.Seed = 12
+	}
+}
+
+// AblationDL sweeps the duplication threshold dL at fixed loss, exposing
+// the design tradeoff of Section 5: dL = 0 lets the id population decay
+// (like shuffle), large dL pins outdegrees and increases dependence.
+func AblationDL(p AblationDLParams) (*Report, error) {
+	p.setDefaults()
+	r := &Report{
+		ID:     "abl2",
+		Title:  "Duplication threshold sweep (design-choice ablation)",
+		Params: fmt.Sprintf("n=%d s=%d l=%g rounds=%d", p.N, p.S, p.Loss, p.Rounds),
+	}
+	t := Table{Columns: []string{"dL", "edges/node", "mean out", "mean in", "alpha", "components", "dup prob"}}
+	for i, dl := range p.DLs {
+		if dl > p.S-6 {
+			continue
+		}
+		initDeg := p.S / 2
+		if initDeg < dl {
+			initDeg = dl
+		}
+		proto, err := sendforget.New(sendforget.Config{
+			N: p.N, S: p.S, DL: dl, InitDegree: initDeg, TrackDependence: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(p.Seed+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		e.Run(p.Rounds)
+		g := e.Snapshot()
+		deg := metrics.Degrees(g, nil)
+		c := proto.Counters()
+		dup := 0.0
+		if c.Sends > 0 {
+			dup = float64(c.Duplications) / float64(c.Sends)
+		}
+		t.AddRow(d(dl),
+			f2(float64(g.NumEdges())/float64(p.N)),
+			f2(deg.MeanOut), f2(deg.MeanIn),
+			f4(proto.DependenceStats().Alpha()),
+			d(g.ComponentCount()),
+			f4(dup),
+		)
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"dL=0 disables duplication: under loss the edge population decays and the overlay fragments (Section 5: 'node outdegrees would gradually decrease, until eventually all nodes become isolated')",
+		"moderate dL stabilizes the population at slightly reduced independence; dL near s forces frequent duplication and lowers alpha",
+	)
+	return r, nil
+}

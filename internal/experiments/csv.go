@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSV renders the table as RFC-4180 CSV (header row first).
+func (t *Table) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Columns); err != nil {
+		return "", err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// WriteCSV writes every table of the report into dir as
+// <id>_<k>_<slug>.csv, creating dir if needed. External plotting tools
+// regenerate the paper's figures from these files.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: create %s: %w", dir, err)
+	}
+	for k, t := range r.Tables {
+		data, err := t.CSV()
+		if err != nil {
+			return fmt.Errorf("experiments: render table %d of %s: %w", k, r.ID, err)
+		}
+		name := fmt.Sprintf("%s_%d_%s.csv", slug(r.ID), k, slug(t.Title))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			return fmt.Errorf("experiments: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// slug sanitizes a string into a filename fragment.
+func slug(s string) string {
+	if s == "" {
+		return "table"
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '.', r == '-', r == '/':
+			b.WriteByte('-')
+		}
+	}
+	out := strings.Trim(b.String(), "-")
+	if len(out) > 48 {
+		out = out[:48]
+	}
+	if out == "" {
+		return "table"
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment with its default parameters.
+type Runner func() (*Report, error)
+
+// Registry maps experiment ids (as listed in DESIGN.md) to default-parameter
+// runners. cmd/sfexperiments iterates it.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig6.1":  func() (*Report, error) { return Fig61(Fig61Params{}) },
+		"fig6.2":  func() (*Report, error) { return Fig62(Fig62Params{}) },
+		"tab6.3":  func() (*Report, error) { return Tab63(Tab63Params{}) },
+		"fig6.3":  func() (*Report, error) { return Fig63(Fig63Params{}) },
+		"fig6.4":  func() (*Report, error) { return Fig64(Fig64Params{}) },
+		"cor6.14": func() (*Report, error) { return Cor614(Cor614Params{}) },
+		"lem6.6":  func() (*Report, error) { return Lem66(Lem66Params{}) },
+		"lem7.5":  func() (*Report, error) { return Lem75(Lem75Params{}) },
+		"lem7.6":  func() (*Report, error) { return Lem76(Lem76Params{}) },
+		"lem7.8":  func() (*Report, error) { return Lem78(Lem78Params{}) },
+		"lem7.9":  func() (*Report, error) { return Lem79(Lem79Params{}) },
+		"tab7.4":  func() (*Report, error) { return Tab74(Tab74Params{}) },
+		"lem7.15": func() (*Report, error) { return Lem715(Lem715Params{}) },
+		"base1":   func() (*Report, error) { return Baselines(BaselinesParams{}) },
+		"rw1":     func() (*Report, error) { return RW1(RW1Params{}) },
+		"churn1":  func() (*Report, error) { return Churn1(ChurnParams{}) },
+		"abl1":    func() (*Report, error) { return AblationBurst(AblationBurstParams{}) },
+		"abl2":    func() (*Report, error) { return AblationDL(AblationDLParams{}) },
+		"abl3":    func() (*Report, error) { return AblationOpt(AblationOptParams{}) },
+		"abl4":    func() (*Report, error) { return AblationNonuniform(AblationNonuniformParams{}) },
+	}
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string) (*Report, error) {
+	runner, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return runner()
+}

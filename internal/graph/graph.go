@@ -1,0 +1,261 @@
+// Package graph models the membership graph of Section 4: a directed
+// multigraph G = (V, E) whose vertices are nodes and whose edge multiset
+// contains (u, v) with the multiplicity of v in u.lv.
+//
+// The package provides the structural queries the analysis needs — in- and
+// outdegrees, sum degrees, weak connectivity, self-edge and parallel-edge
+// counts, and degree histograms — over either a live snapshot of protocol
+// views or a standalone edge multiset built by tests.
+package graph
+
+import (
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/view"
+)
+
+// Graph is an immutable snapshot of a membership graph over nodes 0..n-1.
+type Graph struct {
+	n   int
+	out [][]peer.ID // out[u] = multiset of out-neighbors, in slot order
+	in  []int       // in[u]  = indegree din(u)
+}
+
+// FromViews snapshots the membership graph induced by views; views[u] is
+// node u's local view (nil views denote departed nodes with no out-edges).
+func FromViews(views []*view.View) *Graph {
+	g := &Graph{
+		n:   len(views),
+		out: make([][]peer.ID, len(views)),
+		in:  make([]int, len(views)),
+	}
+	for u, v := range views {
+		if v == nil {
+			continue
+		}
+		g.out[u] = v.IDs()
+		for _, w := range g.out[u] {
+			if int(w) >= 0 && int(w) < g.n {
+				g.in[w]++
+			}
+		}
+	}
+	return g
+}
+
+// FromEdges builds a graph over n nodes from an explicit edge multiset.
+// It panics if an endpoint is out of range.
+func FromEdges(n int, edges [][2]peer.ID) *Graph {
+	g := &Graph{n: n, out: make([][]peer.ID, n), in: make([]int, n)}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if int(u) < 0 || int(u) >= n || int(v) < 0 || int(v) >= n {
+			panic(fmt.Sprintf("graph: edge (%v,%v) out of range n=%d", u, v, n))
+		}
+		g.out[u] = append(g.out[u], v)
+		g.in[v]++
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the total number of edges (with multiplicity).
+func (g *Graph) NumEdges() int {
+	m := 0
+	for _, adj := range g.out {
+		m += len(adj)
+	}
+	return m
+}
+
+// Outdegree returns d(u).
+func (g *Graph) Outdegree(u peer.ID) int { return len(g.out[u]) }
+
+// Indegree returns din(u).
+func (g *Graph) Indegree(u peer.ID) int { return g.in[u] }
+
+// SumDegree returns ds(u) = d(u) + 2*din(u) (Definition 6.1).
+func (g *Graph) SumDegree(u peer.ID) int { return len(g.out[u]) + 2*g.in[u] }
+
+// OutNeighbors returns u's out-neighbor multiset in slot order. The caller
+// must not mutate the returned slice.
+func (g *Graph) OutNeighbors(u peer.ID) []peer.ID { return g.out[u] }
+
+// InNeighbors returns the set of nodes having u in their views, ascending.
+func (g *Graph) InNeighbors(u peer.ID) []peer.ID {
+	var out []peer.ID
+	for x := 0; x < g.n; x++ {
+		for _, w := range g.out[x] {
+			if w == u {
+				out = append(out, peer.ID(x))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SelfEdges returns the number of entries u.lv[i] = u summed over all nodes.
+// The paper conservatively labels all self-edges dependent.
+func (g *Graph) SelfEdges() int {
+	c := 0
+	for u, adj := range g.out {
+		for _, w := range adj {
+			if int(w) == u {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// DuplicateEntries returns the number of redundant same-view duplicates:
+// for each node and each distinct id with multiplicity m >= 2 in its view,
+// m-1 entries count as duplicates ("all but one of these edges are
+// considered dependent").
+func (g *Graph) DuplicateEntries() int {
+	c := 0
+	counts := make(map[peer.ID]int)
+	for _, adj := range g.out {
+		clear(counts)
+		for _, w := range adj {
+			counts[w]++
+		}
+		for _, m := range counts {
+			if m > 1 {
+				c += m - 1
+			}
+		}
+	}
+	return c
+}
+
+// WeaklyConnected reports whether the graph, viewed as undirected, has a
+// single connected component spanning all n vertices. Isolated vertices make
+// the graph disconnected (for n > 1).
+func (g *Graph) WeaklyConnected() bool { return g.ComponentCount() <= 1 }
+
+// ComponentCount returns the number of weakly connected components,
+// computed with a union-find over the undirected support of the edge set.
+func (g *Graph) ComponentCount() int {
+	if g.n == 0 {
+		return 0
+	}
+	uf := newUnionFind(g.n)
+	for u, adj := range g.out {
+		for _, w := range adj {
+			uf.union(u, int(w))
+		}
+	}
+	return uf.components()
+}
+
+// InducedComponents returns the number of weakly connected components of
+// the subgraph induced by members: only edges with both endpoints in the
+// member set count, and only members count as vertices. Churn experiments
+// use it to check connectivity among live nodes while stale ids of departed
+// nodes still linger in views.
+func (g *Graph) InducedComponents(members []peer.ID) int {
+	if len(members) == 0 {
+		return 0
+	}
+	idx := make(map[peer.ID]int, len(members))
+	for i, u := range members {
+		idx[u] = i
+	}
+	uf := newUnionFind(len(members))
+	for i, u := range members {
+		for _, w := range g.out[u] {
+			if j, ok := idx[w]; ok {
+				uf.union(i, j)
+			}
+		}
+	}
+	return uf.components()
+}
+
+// StaleEdges returns the number of view entries pointing outside the member
+// set — the lingering ids of departed nodes (Section 6.5).
+func (g *Graph) StaleEdges(members []peer.ID) int {
+	member := make(map[peer.ID]bool, len(members))
+	for _, u := range members {
+		member[u] = true
+	}
+	stale := 0
+	for _, u := range members {
+		for _, w := range g.out[u] {
+			if !member[w] {
+				stale++
+			}
+		}
+	}
+	return stale
+}
+
+// DegreeHistograms returns histograms of out- and indegrees: hOut[d] is the
+// number of nodes with outdegree d, and similarly hIn.
+func (g *Graph) DegreeHistograms() (hOut, hIn map[int]int) {
+	hOut, hIn = make(map[int]int), make(map[int]int)
+	for u := 0; u < g.n; u++ {
+		hOut[len(g.out[u])]++
+		hIn[g.in[u]]++
+	}
+	return hOut, hIn
+}
+
+// Multiplicity returns the multiplicity of edge (u, v).
+func (g *Graph) Multiplicity(u, v peer.ID) int {
+	m := 0
+	for _, w := range g.out[u] {
+		if w == v {
+			m++
+		}
+	}
+	return m
+}
+
+// IDInstances returns the total number of entries holding id across all
+// views — the "instances of u's id in the system" of Section 6.5.
+func (g *Graph) IDInstances(id peer.ID) int { return g.in[id] }
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+	comps  int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n), comps: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.comps--
+}
+
+func (uf *unionFind) components() int { return uf.comps }

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+func TestFromEdgesDegrees(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 2 -> 1, 1 -> 1 (self-edge), 0 -> 1 (parallel).
+	g := FromEdges(3, [][2]peer.ID{{0, 1}, {0, 2}, {2, 1}, {1, 1}, {0, 1}})
+	if g.N() != 3 {
+		t.Fatalf("N = %d, want 3", g.N())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	tests := []struct {
+		u       peer.ID
+		out, in int
+		sum     int
+	}{
+		{0, 3, 0, 3},
+		{1, 1, 4, 9},
+		{2, 1, 1, 3},
+	}
+	for _, tt := range tests {
+		if got := g.Outdegree(tt.u); got != tt.out {
+			t.Errorf("Outdegree(%v) = %d, want %d", tt.u, got, tt.out)
+		}
+		if got := g.Indegree(tt.u); got != tt.in {
+			t.Errorf("Indegree(%v) = %d, want %d", tt.u, got, tt.in)
+		}
+		if got := g.SumDegree(tt.u); got != tt.sum {
+			t.Errorf("SumDegree(%v) = %d, want %d", tt.u, got, tt.sum)
+		}
+	}
+	if got := g.SelfEdges(); got != 1 {
+		t.Errorf("SelfEdges = %d, want 1", got)
+	}
+	if got := g.Multiplicity(0, 1); got != 2 {
+		t.Errorf("Multiplicity(0,1) = %d, want 2", got)
+	}
+	if got := g.DuplicateEntries(); got != 1 {
+		t.Errorf("DuplicateEntries = %d, want 1 (the parallel 0->1)", got)
+	}
+	if got := g.IDInstances(1); got != 4 {
+		t.Errorf("IDInstances(1) = %d, want 4", got)
+	}
+}
+
+func TestFromEdgesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromEdges with out-of-range endpoint did not panic")
+		}
+	}()
+	FromEdges(2, [][2]peer.ID{{0, 2}})
+}
+
+func TestFromViews(t *testing.T) {
+	v0 := view.New(4)
+	v0.Set(0, 1)
+	v0.Set(1, 2)
+	v1 := view.New(4)
+	v1.Set(3, 2)
+	v2 := view.New(4)
+	g := FromViews([]*view.View{v0, v1, v2})
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.Indegree(2) != 2 {
+		t.Errorf("Indegree(2) = %d, want 2", g.Indegree(2))
+	}
+	if g.Outdegree(2) != 0 {
+		t.Errorf("Outdegree(2) = %d, want 0", g.Outdegree(2))
+	}
+}
+
+func TestFromViewsNilView(t *testing.T) {
+	v0 := view.New(2)
+	v0.Set(0, 1)
+	g := FromViews([]*view.View{v0, nil})
+	if g.Outdegree(1) != 0 {
+		t.Errorf("departed node outdegree = %d, want 0", g.Outdegree(1))
+	}
+	if g.Indegree(1) != 1 {
+		t.Errorf("departed node indegree = %d, want 1 (stale id)", g.Indegree(1))
+	}
+}
+
+func TestInOutNeighbors(t *testing.T) {
+	g := FromEdges(4, [][2]peer.ID{{0, 2}, {1, 2}, {2, 3}, {0, 2}})
+	in := g.InNeighbors(2)
+	if len(in) != 2 || in[0] != 0 || in[1] != 1 {
+		t.Errorf("InNeighbors(2) = %v, want [n0 n1]", in)
+	}
+	out := g.OutNeighbors(0)
+	if len(out) != 2 {
+		t.Errorf("OutNeighbors(0) = %v, want two entries", out)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][2]peer.ID
+		comps int
+		conn  bool
+	}{
+		{"empty graph", 0, nil, 0, true},
+		{"single vertex no edges", 1, nil, 1, true},
+		{"two isolated", 2, nil, 2, false},
+		{"directed chain is weakly connected", 3, [][2]peer.ID{{0, 1}, {2, 1}}, 1, true},
+		{"two components", 4, [][2]peer.ID{{0, 1}, {2, 3}}, 2, false},
+		{"self edge only leaves others isolated", 3, [][2]peer.ID{{0, 0}}, 3, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := FromEdges(tt.n, tt.edges)
+			if got := g.ComponentCount(); got != tt.comps {
+				t.Errorf("ComponentCount = %d, want %d", got, tt.comps)
+			}
+			if got := g.WeaklyConnected(); got != tt.conn {
+				t.Errorf("WeaklyConnected = %v, want %v", got, tt.conn)
+			}
+		})
+	}
+}
+
+func TestDegreeHistograms(t *testing.T) {
+	g := FromEdges(3, [][2]peer.ID{{0, 1}, {0, 2}, {1, 2}})
+	hOut, hIn := g.DegreeHistograms()
+	if hOut[2] != 1 || hOut[1] != 1 || hOut[0] != 1 {
+		t.Errorf("out histogram = %v", hOut)
+	}
+	if hIn[0] != 1 || hIn[1] != 1 || hIn[2] != 1 {
+		t.Errorf("in histogram = %v", hIn)
+	}
+}
+
+func TestQuickHandshake(t *testing.T) {
+	// Property: sum of outdegrees == sum of indegrees == edge count, for
+	// random graphs.
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		m := int(mRaw % 64)
+		r := rng.New(seed)
+		edges := make([][2]peer.ID, m)
+		for i := range edges {
+			edges[i] = [2]peer.ID{peer.ID(r.Intn(n)), peer.ID(r.Intn(n))}
+		}
+		g := FromEdges(n, edges)
+		sumOut, sumIn := 0, 0
+		for u := 0; u < n; u++ {
+			sumOut += g.Outdegree(peer.ID(u))
+			sumIn += g.Indegree(peer.ID(u))
+		}
+		return sumOut == m && sumIn == m && g.NumEdges() == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComponentsNeverExceedN(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		m := int(mRaw % 40)
+		r := rng.New(seed)
+		edges := make([][2]peer.ID, m)
+		for i := range edges {
+			edges[i] = [2]peer.ID{peer.ID(r.Intn(n)), peer.ID(r.Intn(n))}
+		}
+		g := FromEdges(n, edges)
+		c := g.ComponentCount()
+		return c >= 1 && c <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInducedComponents(t *testing.T) {
+	// 0 -> 1 -> 2, 3 isolated among members; edge to non-member 4 ignored.
+	g := FromEdges(5, [][2]peer.ID{{0, 1}, {1, 2}, {3, 4}})
+	if got := g.InducedComponents([]peer.ID{0, 1, 2, 3}); got != 2 {
+		t.Errorf("InducedComponents = %d, want 2 ({0,1,2} and {3})", got)
+	}
+	if got := g.InducedComponents([]peer.ID{0, 1, 2}); got != 1 {
+		t.Errorf("InducedComponents = %d, want 1", got)
+	}
+	if got := g.InducedComponents(nil); got != 0 {
+		t.Errorf("InducedComponents(nil) = %d, want 0", got)
+	}
+	if got := g.InducedComponents([]peer.ID{3}); got != 1 {
+		t.Errorf("single member = %d, want 1", got)
+	}
+}
+
+func TestStaleEdges(t *testing.T) {
+	g := FromEdges(5, [][2]peer.ID{{0, 1}, {0, 4}, {1, 4}, {1, 2}})
+	// Members {0,1,2}: edges to 4 are stale.
+	if got := g.StaleEdges([]peer.ID{0, 1, 2}); got != 2 {
+		t.Errorf("StaleEdges = %d, want 2", got)
+	}
+	if got := g.StaleEdges([]peer.ID{0, 1, 2, 4}); got != 0 {
+		t.Errorf("StaleEdges with all members = %d, want 0", got)
+	}
+	if got := g.StaleEdges(nil); got != 0 {
+		t.Errorf("StaleEdges(nil) = %d, want 0", got)
+	}
+}

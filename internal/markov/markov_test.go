@@ -1,0 +1,384 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sendforget/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// twoState builds the classic two-state chain with P(0->1)=a, P(1->0)=b.
+func twoState(a, b float64) *Dense {
+	d := NewDense(2)
+	d.Set(0, 0, 1-a)
+	d.Set(0, 1, a)
+	d.Set(1, 0, b)
+	d.Set(1, 1, 1-b)
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	d := twoState(0.3, 0.6)
+	if err := Validate(d); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	bad := NewDense(2)
+	bad.Set(0, 0, 0.5)
+	bad.Set(1, 0, 1)
+	if err := Validate(bad); err == nil {
+		t.Error("row summing to 0.5 accepted")
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	// Stationary distribution of the (a,b) chain is (b, a)/(a+b).
+	d := twoState(0.3, 0.6)
+	pi, iters, err := Stationary(d, nil, 1e-12, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters <= 0 {
+		t.Errorf("iterations = %d", iters)
+	}
+	if !almostEqual(pi[0], 2.0/3.0, 1e-9) || !almostEqual(pi[1], 1.0/3.0, 1e-9) {
+		t.Errorf("stationary = %v, want [2/3 1/3]", pi)
+	}
+}
+
+func TestStationaryFixedPointProperty(t *testing.T) {
+	d := twoState(0.25, 0.15)
+	pi, _, err := Stationary(d, nil, 1e-13, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := Step(d, pi)
+	if tv := TV(pi, next); tv > 1e-10 {
+		t.Errorf("pi*P differs from pi by TV %v", tv)
+	}
+}
+
+func TestStationaryCustomInit(t *testing.T) {
+	d := twoState(0.5, 0.5)
+	pi, _, err := Stationary(d, []float64{1, 0}, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pi[0], 0.5, 1e-9) {
+		t.Errorf("stationary = %v, want uniform", pi)
+	}
+	if _, _, err := Stationary(d, []float64{1}, 1e-12, 100); err == nil {
+		t.Error("accepted init of wrong length")
+	}
+}
+
+func TestStationaryNonConvergence(t *testing.T) {
+	// The deterministic 2-cycle is periodic: power iteration from a point
+	// mass never converges.
+	d := NewDense(2)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	if _, _, err := Stationary(d, []float64{1, 0}, 1e-12, 50); err == nil {
+		t.Error("periodic chain converged from point mass")
+	}
+}
+
+func TestStationaryEmptyChain(t *testing.T) {
+	if _, _, err := Stationary(NewDense(0), nil, 1e-9, 10); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestSparseAddAccumulates(t *testing.T) {
+	s := NewSparse(2)
+	s.Add(0, 1, 0.2)
+	s.Add(0, 1, 0.3)
+	s.Add(0, 0, 0.5)
+	s.Add(1, 0, 1)
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	got := 0.0
+	s.ForEach(0, func(col int, p float64) {
+		if col == 1 {
+			got = p
+		}
+	})
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("accumulated P(0->1) = %v, want 0.5", got)
+	}
+	if !almostEqual(s.RowSum(0), 1, 1e-12) {
+		t.Errorf("RowSum(0) = %v", s.RowSum(0))
+	}
+}
+
+func TestSparseAddZeroIgnored(t *testing.T) {
+	s := NewSparse(1)
+	s.Add(0, 0, 0)
+	count := 0
+	s.ForEach(0, func(int, float64) { count++ })
+	if count != 0 {
+		t.Error("zero-probability transition stored")
+	}
+}
+
+func TestSparseAddPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative probability accepted")
+		}
+	}()
+	NewSparse(1).Add(0, 0, -0.1)
+}
+
+func TestCloseRows(t *testing.T) {
+	s := NewSparse(2)
+	s.Add(0, 1, 0.25)
+	s.Add(1, 0, 1)
+	if err := s.CloseRows(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	selfLoop := 0.0
+	s.ForEach(0, func(col int, p float64) {
+		if col == 0 {
+			selfLoop = p
+		}
+	})
+	if !almostEqual(selfLoop, 0.75, 1e-12) {
+		t.Errorf("self-loop = %v, want 0.75", selfLoop)
+	}
+	over := NewSparse(1)
+	over.Add(0, 0, 1.5)
+	if err := over.CloseRows(); err == nil {
+		t.Error("row mass > 1 accepted")
+	}
+}
+
+func TestSparseStationaryMatchesDense(t *testing.T) {
+	dense := twoState(0.3, 0.6)
+	sparse := NewSparse(2)
+	sparse.Add(0, 0, 0.7)
+	sparse.Add(0, 1, 0.3)
+	sparse.Add(1, 0, 0.6)
+	sparse.Add(1, 1, 0.4)
+	pd, _, err := Stationary(dense, nil, 1e-12, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _, err := Stationary(sparse, nil, 1e-12, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := TV(pd, ps); tv > 1e-9 {
+		t.Errorf("dense and sparse stationary differ by %v", tv)
+	}
+}
+
+func TestIsIrreducible(t *testing.T) {
+	if !IsIrreducible(twoState(0.3, 0.6)) {
+		t.Error("connected two-state chain reported reducible")
+	}
+	// Absorbing state: not irreducible.
+	d := NewDense(2)
+	d.Set(0, 1, 1)
+	d.Set(1, 1, 1)
+	if IsIrreducible(d) {
+		t.Error("chain with absorbing state reported irreducible")
+	}
+	if IsIrreducible(NewDense(0)) {
+		t.Error("empty chain reported irreducible")
+	}
+	// Two disjoint cycles.
+	d4 := NewDense(4)
+	d4.Set(0, 1, 1)
+	d4.Set(1, 0, 1)
+	d4.Set(2, 3, 1)
+	d4.Set(3, 2, 1)
+	if IsIrreducible(d4) {
+		t.Error("disconnected chain reported irreducible")
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	// Deterministic k-cycles have period k.
+	for _, k := range []int{2, 3, 5} {
+		d := NewDense(k)
+		for i := 0; i < k; i++ {
+			d.Set(i, (i+1)%k, 1)
+		}
+		p, err := Period(d)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", k, err)
+		}
+		if p != k {
+			t.Errorf("period of %d-cycle = %d", k, p)
+		}
+	}
+	// A self-loop makes any irreducible chain aperiodic.
+	d := NewDense(3)
+	d.Set(0, 1, 0.5)
+	d.Set(0, 0, 0.5)
+	d.Set(1, 2, 1)
+	d.Set(2, 0, 1)
+	p, err := Period(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("period with self-loop = %d, want 1", p)
+	}
+	// Reducible chain: error.
+	bad := NewDense(2)
+	bad.Set(0, 0, 1)
+	bad.Set(1, 1, 1)
+	if _, err := Period(bad); err == nil {
+		t.Error("Period accepted reducible chain")
+	}
+	// Single state with self-loop.
+	one := NewDense(1)
+	one.Set(0, 0, 1)
+	p, err = Period(one)
+	if err != nil || p != 1 {
+		t.Errorf("single state period = %d, %v", p, err)
+	}
+}
+
+func TestIsErgodic(t *testing.T) {
+	if !IsErgodic(twoState(0.3, 0.6)) {
+		t.Error("ergodic chain rejected")
+	}
+	cycle := NewDense(2)
+	cycle.Set(0, 1, 1)
+	cycle.Set(1, 0, 1)
+	if IsErgodic(cycle) {
+		t.Error("periodic chain reported ergodic")
+	}
+	red := NewDense(2)
+	red.Set(0, 0, 1)
+	red.Set(1, 1, 1)
+	if IsErgodic(red) {
+		t.Error("reducible chain reported ergodic")
+	}
+}
+
+func TestErgodicTheoremEmpirically(t *testing.T) {
+	// Random ergodic chains: power iteration from two different starting
+	// distributions converges to the same stationary distribution.
+	r := rng.New(42)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(5)
+		d := NewDense(n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			sum := 0.0
+			for j := range row {
+				row[j] = r.Float64() + 0.01 // strictly positive: ergodic
+				sum += row[j]
+			}
+			for j := range row {
+				d.Set(i, j, row[j]/sum)
+			}
+		}
+		if !IsErgodic(d) {
+			t.Fatal("strictly positive chain not ergodic")
+		}
+		init1 := make([]float64, n)
+		init1[0] = 1
+		init2 := make([]float64, n)
+		init2[n-1] = 1
+		p1, _, err1 := Stationary(d, init1, 1e-12, 100000)
+		p2, _, err2 := Stationary(d, init2, 1e-12, 100000)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if tv := TV(p1, p2); tv > 1e-8 {
+			t.Errorf("trial %d: different starts gave TV %v", trial, tv)
+		}
+	}
+}
+
+func TestQuickStepPreservesMass(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		r := rng.New(seed)
+		d := NewDense(n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = r.Float64()
+				sum += row[j]
+			}
+			for j := range row {
+				d.Set(i, j, row[j]/sum)
+			}
+		}
+		dist := make([]float64, n)
+		dist[0] = 1
+		next := Step(d, dist)
+		mass := 0.0
+		for _, p := range next {
+			mass += p
+		}
+		return almostEqual(mass, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpectralGapTwoState(t *testing.T) {
+	// The (a, b) two-state chain has lambda2 = 1 - a - b exactly.
+	for _, ab := range [][2]float64{{0.3, 0.6}, {0.1, 0.1}, {0.45, 0.45}} {
+		a, b := ab[0], ab[1]
+		d := twoState(a, b)
+		pi, _, err := Stationary(d, nil, 1e-13, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, relax, err := SpectralGap(d, pi, 1e-12, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Abs(1 - a - b)
+		if math.Abs(l2-want) > 1e-8 {
+			t.Errorf("a=%v b=%v: lambda2 = %v, want %v", a, b, l2, want)
+		}
+		if want < 1 && math.Abs(relax-1/(1-want)) > 1e-6*relax {
+			t.Errorf("relaxation = %v, want %v", relax, 1/(1-want))
+		}
+	}
+}
+
+func TestSpectralGapImmediateForgetting(t *testing.T) {
+	// A chain whose every row equals pi forgets in one step: lambda2 = 0.
+	d := NewDense(3)
+	for i := 0; i < 3; i++ {
+		d.Set(i, 0, 0.5)
+		d.Set(i, 1, 0.3)
+		d.Set(i, 2, 0.2)
+	}
+	pi := []float64{0.5, 0.3, 0.2}
+	l2, relax, err := SpectralGap(d, pi, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 > 1e-9 || relax != 1 {
+		t.Errorf("lambda2 = %v relaxation = %v, want 0 and 1", l2, relax)
+	}
+}
+
+func TestSpectralGapValidation(t *testing.T) {
+	d := twoState(0.3, 0.6)
+	if _, _, err := SpectralGap(d, []float64{1}, 1e-9, 100); err == nil {
+		t.Error("accepted wrong-length pi")
+	}
+	if _, _, err := SpectralGap(NewDense(1), []float64{1}, 1e-9, 100); err == nil {
+		t.Error("accepted single-state chain")
+	}
+}

@@ -1,0 +1,226 @@
+// Package flipper implements the 1-flipper baseline of Mahlmann and
+// Schindelhauer [26], the second delete-on-send family the paper's Section
+// 3.1 surveys (alongside shuffle). A flip is an atomic edge exchange: node
+// u with edge (u, w) contacts its out-neighbor v holding an edge (v, z) and
+// the pair swap endpoints, yielding (u, z) and (v, w). On a lossless
+// network flips preserve every node's outdegree exactly — the protocol
+// performs random transformations of a regular digraph. Under loss, the
+// two-message exchange breaks: a dropped request or reply permanently
+// destroys edges, the defect the paper's S&F exists to fix.
+//
+// The implementation expresses a flip as a request/reply pair in the shared
+// protocol.Message vocabulary so the standard engine can drive it and lose
+// its messages.
+package flipper
+
+import (
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Config parameterizes the flipper baseline.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// S is the view size.
+	S int
+	// Degree is the uniform outdegree of the initial regular topology
+	// (defaults to S/2, at least 2).
+	Degree int
+}
+
+// Counters tallies flipper events.
+type Counters struct {
+	Initiations int
+	SelfLoops   int
+	Requests    int
+	Replies     int
+	Dropped     int // ids discarded because no empty slot was left
+}
+
+// Protocol is the flipper baseline state. It implements protocol.Protocol
+// and protocol.Churner.
+type Protocol struct {
+	cfg      Config
+	views    []*view.View
+	active   []bool
+	counters Counters
+}
+
+var (
+	_ protocol.Protocol = (*Protocol)(nil)
+	_ protocol.Churner  = (*Protocol)(nil)
+)
+
+// New builds the baseline over the circulant d-regular topology.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.N < 3 {
+		return nil, fmt.Errorf("flipper: need at least 3 nodes, got %d", cfg.N)
+	}
+	if cfg.S < 2 {
+		return nil, fmt.Errorf("flipper: view size must be >= 2, got %d", cfg.S)
+	}
+	if cfg.Degree == 0 {
+		cfg.Degree = cfg.S / 2
+		if cfg.Degree < 2 {
+			cfg.Degree = 2
+		}
+	}
+	if cfg.Degree > cfg.S || cfg.Degree >= cfg.N {
+		return nil, fmt.Errorf("flipper: degree %d must fit view %d and n %d", cfg.Degree, cfg.S, cfg.N)
+	}
+	p := &Protocol{
+		cfg:    cfg,
+		views:  make([]*view.View, cfg.N),
+		active: make([]bool, cfg.N),
+	}
+	for u := 0; u < cfg.N; u++ {
+		v := view.New(cfg.S)
+		for k := 1; k <= cfg.Degree; k++ {
+			v.Set(k-1, peer.ID((u+k)%cfg.N))
+		}
+		p.views[u] = v
+		p.active[u] = true
+	}
+	return p, nil
+}
+
+// Name returns "flipper".
+func (p *Protocol) Name() string { return "flipper" }
+
+// N returns the number of node slots.
+func (p *Protocol) N() int { return p.cfg.N }
+
+// Counters returns a copy of the counters.
+func (p *Protocol) Counters() Counters { return p.counters }
+
+// View returns u's view (nil after Leave).
+func (p *Protocol) View(u peer.ID) *view.View {
+	if !p.active[u] {
+		return nil
+	}
+	return p.views[u]
+}
+
+// Views returns all views for snapshotting.
+func (p *Protocol) Views() []*view.View {
+	out := make([]*view.View, p.cfg.N)
+	for u := range out {
+		if p.active[u] {
+			out[u] = p.views[u]
+		}
+	}
+	return out
+}
+
+// Initiate starts a flip: u removes its payload edge (u, w) and offers it
+// to its out-neighbor v. The edge (u, v) itself stays put — it is the rail
+// the exchange travels on.
+func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
+	p.counters.Initiations++
+	lv := p.views[u]
+	if lv == nil {
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	i, j := lv.RandomPair(r)
+	v, w := lv.Slot(i), lv.Slot(j)
+	if v.IsNil() || w.IsNil() || v == w {
+		// Parallel-edge selections make degenerate flips; treat them as
+		// self-loops like empty selections.
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	lv.Clear(j) // the payload edge (u, w) leaves u
+	p.counters.Requests++
+	return v, protocol.Message{
+		Kind: protocol.KindRequest,
+		From: u,
+		IDs:  []peer.ID{w},
+	}, true
+}
+
+// Deliver handles flip requests (store w, detach one own edge z, reply) and
+// replies (store z).
+func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
+	lv := p.views[u]
+	if lv == nil {
+		return protocol.Message{}, 0, false
+	}
+	switch msg.Kind {
+	case protocol.KindRequest:
+		if len(msg.IDs) != 1 {
+			return protocol.Message{}, 0, false
+		}
+		// Detach a random own edge z to send back, then adopt w in its
+		// place — outdegree unchanged.
+		occupied := lv.OccupiedSlots()
+		if len(occupied) == 0 {
+			// Degenerate: nothing to swap; adopt w if possible.
+			p.store(lv, msg.IDs[0], r)
+			return protocol.Message{}, 0, false
+		}
+		slot := occupied[r.Intn(len(occupied))]
+		z := lv.Slot(slot)
+		lv.Clear(slot)
+		p.store(lv, msg.IDs[0], r)
+		p.counters.Replies++
+		return protocol.Message{
+			Kind: protocol.KindReply,
+			From: u,
+			IDs:  []peer.ID{z},
+		}, msg.From, true
+	case protocol.KindReply:
+		if len(msg.IDs) != 1 {
+			return protocol.Message{}, 0, false
+		}
+		p.store(lv, msg.IDs[0], r)
+		return protocol.Message{}, 0, false
+	default:
+		return protocol.Message{}, 0, false
+	}
+}
+
+// store places id into a uniformly chosen empty slot, dropping it (counted)
+// when the view is full.
+func (p *Protocol) store(lv *view.View, id peer.ID, r *rng.RNG) {
+	slots, ok := lv.RandomEmptySlots(r, 1)
+	if !ok {
+		p.counters.Dropped++
+		return
+	}
+	lv.Set(slots[0], id)
+}
+
+// Join implements protocol.Churner.
+func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
+	if p.active[u] {
+		return fmt.Errorf("flipper: node %v is already active", u)
+	}
+	if len(seeds) == 0 {
+		return fmt.Errorf("flipper: join of %v needs seeds", u)
+	}
+	v := view.New(p.cfg.S)
+	for i, id := range seeds {
+		if i >= p.cfg.S {
+			break
+		}
+		v.Set(i, id)
+	}
+	p.views[u] = v
+	p.active[u] = true
+	return nil
+}
+
+// Leave implements protocol.Churner.
+func (p *Protocol) Leave(u peer.ID) {
+	p.active[u] = false
+	p.views[u] = nil
+}
+
+// Active implements protocol.Churner.
+func (p *Protocol) Active(u peer.ID) bool { return p.active[u] }

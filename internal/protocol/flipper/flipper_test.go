@@ -1,0 +1,171 @@
+package flipper
+
+import (
+	"testing"
+
+	"sendforget/internal/engine"
+	"sendforget/internal/graph"
+	"sendforget/internal/loss"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+)
+
+func mustNew(t *testing.T, cfg Config) *Protocol {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{N: 2, S: 4}); err == nil {
+		t.Error("accepted n=2")
+	}
+	if _, err := New(Config{N: 10, S: 1}); err == nil {
+		t.Error("accepted s=1")
+	}
+	if _, err := New(Config{N: 10, S: 4, Degree: 5}); err == nil {
+		t.Error("accepted degree > s")
+	}
+	if _, err := New(Config{N: 3, S: 8, Degree: 3}); err == nil {
+		t.Error("accepted degree >= n")
+	}
+}
+
+func driveLossless(t *testing.T, p *Protocol, rounds int, seed int64) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(p, loss.None{}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(rounds)
+	return e
+}
+
+func TestFlipsPreserveRegularityWithoutLoss(t *testing.T) {
+	// The flipper's defining property: on a lossless network every node's
+	// outdegree is invariant (flips are degree-preserving edge exchanges).
+	p := mustNew(t, Config{N: 40, S: 10, Degree: 4})
+	e := driveLossless(t, p, 300, 1)
+	g := e.Snapshot()
+	for u := 0; u < 40; u++ {
+		if d := g.Outdegree(peer.ID(u)); d != 4 {
+			t.Errorf("node %d outdegree = %d, want invariant 4", u, d)
+		}
+	}
+	if p.Counters().Replies == 0 {
+		t.Fatal("no flips completed")
+	}
+	if !g.WeaklyConnected() {
+		t.Error("lossless flipper disconnected the graph")
+	}
+}
+
+func TestFlipsMixTheGraph(t *testing.T) {
+	// After many flips the circulant structure must be gone: some node
+	// holds an id outside its original window.
+	p := mustNew(t, Config{N: 40, S: 10, Degree: 4})
+	driveLossless(t, p, 300, 2)
+	mixed := false
+	for u := 0; u < 40 && !mixed; u++ {
+		for _, id := range p.View(peer.ID(u)).IDs() {
+			diff := (int(id) - u + 40) % 40
+			if diff > 4 {
+				mixed = true
+				break
+			}
+		}
+	}
+	if !mixed {
+		t.Error("graph still circulant after 300 rounds of flips")
+	}
+}
+
+func TestEdgesDecayUnderLoss(t *testing.T) {
+	// The Section 3.1 claim, same as shuffle: delete-on-send dies under
+	// loss. A lost request destroys the payload edge; a lost reply
+	// destroys the detached return edge.
+	p := mustNew(t, Config{N: 60, S: 10, Degree: 6})
+	e, err := engine.New(p, loss.MustUniform(0.2), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Snapshot().NumEdges()
+	e.Run(400)
+	after := e.Snapshot().NumEdges()
+	if after > before/2 {
+		t.Errorf("edge population %d -> %d; expected heavy decay under 20%% loss", before, after)
+	}
+}
+
+func TestDegenerateSelections(t *testing.T) {
+	// Views with parallel edges yield v == w selections, which must be
+	// self-loops rather than degenerate flips.
+	p := mustNew(t, Config{N: 4, S: 4, Degree: 2})
+	// Force a parallel edge.
+	p.views[0].Set(0, 1)
+	p.views[0].Set(1, 1)
+	r := rng.New(4)
+	for k := 0; k < 50; k++ {
+		to, msg, ok := p.Initiate(0, r)
+		if !ok {
+			continue
+		}
+		if to == msg.IDs[0] {
+			t.Fatalf("degenerate flip emitted: target %v == payload %v", to, msg.IDs[0])
+		}
+		// Put the edge back for the next iteration.
+		p.Deliver(0, protocol.Message{Kind: protocol.KindReply, From: to, IDs: msg.IDs}, r)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8, Degree: 4})
+	p.Leave(2)
+	if p.Active(2) || p.View(2) != nil {
+		t.Fatal("Leave did not deactivate")
+	}
+	if err := p.Join(2, []peer.ID{0, 1}); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if err := p.Join(2, []peer.ID{0}); err == nil {
+		t.Error("double join accepted")
+	}
+	p.Leave(3)
+	if err := p.Join(3, nil); err == nil {
+		t.Error("join without seeds accepted")
+	}
+	r := rng.New(5)
+	p.Leave(4)
+	if _, _, ok := p.Initiate(4, r); ok {
+		t.Error("departed node initiated")
+	}
+	if _, _, reply := p.Deliver(4, protocol.Message{Kind: protocol.KindRequest, From: 0, IDs: []peer.ID{1}}, r); reply {
+		t.Error("departed node replied")
+	}
+}
+
+func TestMalformedMessagesIgnored(t *testing.T) {
+	p := mustNew(t, Config{N: 4, S: 4, Degree: 2})
+	r := rng.New(6)
+	before := p.View(1).Clone()
+	p.Deliver(1, protocol.Message{Kind: protocol.KindRequest, From: 0, IDs: []peer.ID{1, 2}}, r)
+	p.Deliver(1, protocol.Message{Kind: protocol.KindReply, From: 0, IDs: nil}, r)
+	p.Deliver(1, protocol.Message{Kind: 99, From: 0, IDs: []peer.ID{1}}, r)
+	if !p.View(1).Equal(before) {
+		t.Error("malformed message mutated the view")
+	}
+}
+
+func TestIdentityAndSnapshot(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8})
+	if p.Name() != "flipper" || p.N() != 10 {
+		t.Errorf("identity: %q %d", p.Name(), p.N())
+	}
+	if !graph.FromViews(p.Views()).WeaklyConnected() {
+		t.Error("initial topology disconnected")
+	}
+}

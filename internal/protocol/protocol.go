@@ -1,0 +1,73 @@
+// Package protocol defines the interface between gossip membership
+// protocols and the drivers that execute them (the sequential engine of
+// internal/engine and the concurrent runtime of internal/runtime).
+//
+// Following Section 4.1 of the paper, a protocol is expressed as *steps*
+// that execute atomically at a single node: an initiate step that may emit a
+// message, and a receive step per delivered message. Loss happens between
+// the two; a protocol never learns whether its message arrived. This is the
+// property that makes S&F implementable "in fault-prone networks without
+// any bookkeeping".
+package protocol
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Kind distinguishes message types for protocols with more than one (the
+// shuffle baseline has a request/reply pair; S&F needs only one).
+type Kind uint8
+
+// Message kinds.
+const (
+	KindGossip  Kind = iota // unidirectional gossip (S&F, push-pull)
+	KindRequest             // shuffle request
+	KindReply               // shuffle reply
+)
+
+// Message is a protocol message. IDs carries the gossiped node ids (for S&F
+// the pair [u, w] of Figure 5.1). Dup marks messages sent by an action that
+// performed duplication; the dependence tracker uses it and protocols that
+// do not track dependence ignore it.
+type Message struct {
+	Kind Kind
+	From peer.ID
+	IDs  []peer.ID
+	Dup  bool
+}
+
+// Protocol is a gossip membership protocol over nodes 0..N()-1 driven by an
+// external scheduler. Implementations are single-threaded: the driver
+// serializes all calls.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// N returns the number of node slots (including departed nodes).
+	N() int
+	// View returns node u's local view. It is nil for departed nodes. The
+	// caller must treat the view as read-only.
+	View(u peer.ID) *view.View
+	// Initiate runs the initiator step at node u (Figure 5.1 left). It
+	// returns the destination and message, or ok = false when the action is
+	// a self-loop transformation (no message, no view change).
+	Initiate(u peer.ID, r *rng.RNG) (to peer.ID, msg Message, ok bool)
+	// Deliver runs the receive step at node u for a message that survived
+	// the network (Figure 5.1 right). It may return a reply message for
+	// bidirectional protocols; replies are again subject to loss.
+	Deliver(u peer.ID, msg Message, r *rng.RNG) (reply Message, to peer.ID, hasReply bool)
+}
+
+// Churner is implemented by protocols that support dynamic membership
+// (Section 6.5: joins and leaves/failures).
+type Churner interface {
+	// Join activates node u with an initial view holding the seed ids ("a
+	// joining node has to know at least dL ids of live nodes").
+	Join(u peer.ID, seeds []peer.ID) error
+	// Leave deactivates node u. Per the paper, leaving nodes "simply stop
+	// participating in the protocol"; their id decays out of other views.
+	Leave(u peer.ID)
+	// Active reports whether u currently participates.
+	Active(u peer.ID) bool
+}

@@ -1,0 +1,182 @@
+// Package pushpull implements a keep-on-send gossip baseline in the spirit
+// of Lpbcast [13] and the protocol of Allavena, Demers, and Hopcroft [2],
+// per the taxonomy of Section 3.1 of the paper.
+//
+// An initiator pushes its own id (reinforcement) and a random entry from its
+// view (mixing) to a random neighbor, *keeping* the sent ids. The receiver
+// stores the ids, evicting random entries when its view is full. Because
+// nothing is deleted on send, the protocol is immune to message loss — but
+// every exchange leaves both parties holding the same ids, inducing exactly
+// the spatial dependencies the paper's Section 1 describes ("an id that is
+// gossiped to a neighbor typically remains in the sender's view"). The base1
+// experiment contrasts its dependence level with S&F's.
+package pushpull
+
+import (
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Config parameterizes the push-pull baseline.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// S is the view size (at least 2).
+	S int
+	// InitDegree is the initial outdegree (defaults to S).
+	InitDegree int
+}
+
+// Counters tallies baseline events.
+type Counters struct {
+	Initiations int
+	SelfLoops   int
+	Sends       int
+	Evictions   int // entries overwritten because the view was full
+}
+
+// Protocol is the push-pull baseline state. It implements protocol.Protocol
+// and protocol.Churner.
+type Protocol struct {
+	cfg      Config
+	views    []*view.View
+	active   []bool
+	counters Counters
+}
+
+var (
+	_ protocol.Protocol = (*Protocol)(nil)
+	_ protocol.Churner  = (*Protocol)(nil)
+)
+
+// New builds the baseline over the circulant initial topology.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("pushpull: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.S < 2 {
+		return nil, fmt.Errorf("pushpull: view size must be >= 2, got %d", cfg.S)
+	}
+	if cfg.InitDegree == 0 {
+		cfg.InitDegree = cfg.S
+	}
+	if cfg.InitDegree > cfg.S || cfg.InitDegree >= cfg.N {
+		return nil, fmt.Errorf("pushpull: initial degree %d must fit view %d and n %d", cfg.InitDegree, cfg.S, cfg.N)
+	}
+	p := &Protocol{
+		cfg:    cfg,
+		views:  make([]*view.View, cfg.N),
+		active: make([]bool, cfg.N),
+	}
+	for u := 0; u < cfg.N; u++ {
+		v := view.New(cfg.S)
+		for k := 1; k <= cfg.InitDegree; k++ {
+			v.Set(k-1, peer.ID((u+k)%cfg.N))
+		}
+		p.views[u] = v
+		p.active[u] = true
+	}
+	return p, nil
+}
+
+// Name returns "push-pull".
+func (p *Protocol) Name() string { return "push-pull" }
+
+// N returns the number of node slots.
+func (p *Protocol) N() int { return p.cfg.N }
+
+// Counters returns a copy of the counters.
+func (p *Protocol) Counters() Counters { return p.counters }
+
+// View returns u's view (nil after Leave).
+func (p *Protocol) View(u peer.ID) *view.View {
+	if !p.active[u] {
+		return nil
+	}
+	return p.views[u]
+}
+
+// Views returns all views for snapshotting.
+func (p *Protocol) Views() []*view.View {
+	out := make([]*view.View, p.cfg.N)
+	for u := range out {
+		if p.active[u] {
+			out[u] = p.views[u]
+		}
+	}
+	return out
+}
+
+// Initiate pushes [u, w] to a random neighbor, keeping both entries.
+func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
+	p.counters.Initiations++
+	lv := p.views[u]
+	if lv == nil {
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	i, j := lv.RandomPair(r)
+	v, w := lv.Slot(i), lv.Slot(j)
+	if v.IsNil() || w.IsNil() {
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	p.counters.Sends++
+	// Entries are kept: this is the defining difference from S&F.
+	return v, protocol.Message{
+		Kind: protocol.KindGossip,
+		From: u,
+		IDs:  []peer.ID{u, w},
+	}, true
+}
+
+// Deliver stores the pushed ids, evicting random entries when full.
+func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
+	lv := p.views[u]
+	if lv == nil {
+		return protocol.Message{}, 0, false
+	}
+	for _, id := range msg.IDs {
+		if slots, ok := lv.RandomEmptySlots(r, 1); ok {
+			lv.Set(slots[0], id)
+			continue
+		}
+		// Full view: overwrite a uniformly random entry.
+		p.counters.Evictions++
+		lv.Set(r.Intn(lv.Size()), id)
+	}
+	return protocol.Message{}, 0, false
+}
+
+// Join implements protocol.Churner.
+func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
+	if p.active[u] {
+		return fmt.Errorf("pushpull: node %v is already active", u)
+	}
+	if len(seeds) == 0 {
+		return fmt.Errorf("pushpull: join of %v needs seeds", u)
+	}
+	v := view.New(p.cfg.S)
+	for i, id := range seeds {
+		if i >= p.cfg.S {
+			break
+		}
+		v.Set(i, id)
+	}
+	p.views[u] = v
+	p.active[u] = true
+	return nil
+}
+
+// Leave implements protocol.Churner.
+func (p *Protocol) Leave(u peer.ID) {
+	p.active[u] = false
+	p.views[u] = nil
+}
+
+// Active implements protocol.Churner.
+func (p *Protocol) Active(u peer.ID) bool { return p.active[u] }

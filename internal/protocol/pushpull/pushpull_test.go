@@ -1,0 +1,157 @@
+package pushpull
+
+import (
+	"testing"
+
+	"sendforget/internal/graph"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+)
+
+func mustNew(t *testing.T, cfg Config) *Protocol {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{N: 1, S: 4}); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := New(Config{N: 10, S: 1}); err == nil {
+		t.Error("accepted s=1")
+	}
+	if _, err := New(Config{N: 10, S: 4, InitDegree: 6}); err == nil {
+		t.Error("accepted init degree > s")
+	}
+	if _, err := New(Config{N: 4, S: 8, InitDegree: 4}); err == nil {
+		t.Error("accepted init degree >= n")
+	}
+}
+
+func drive(p *Protocol, actions int, pLoss float64, seed int64) {
+	r := rng.New(seed)
+	n := p.N()
+	for k := 0; k < actions; k++ {
+		u := peer.ID(r.Intn(n))
+		if !p.Active(u) {
+			continue
+		}
+		to, msg, ok := p.Initiate(u, r)
+		if !ok || r.Bernoulli(pLoss) {
+			continue
+		}
+		if p.Active(to) {
+			p.Deliver(to, msg, r)
+		}
+	}
+}
+
+func TestSenderKeepsEntries(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8, InitDegree: 4})
+	r := rng.New(1)
+	before := p.View(2).Clone()
+	for k := 0; k < 1000; k++ {
+		_, _, ok := p.Initiate(2, r)
+		if ok {
+			break
+		}
+	}
+	if !p.View(2).Equal(before) {
+		t.Error("push-pull mutated the sender view on send")
+	}
+}
+
+func TestPopulationSurvivesHeavyLoss(t *testing.T) {
+	// The defining contrast with shuffle: keep-on-send is immune to loss.
+	p := mustNew(t, Config{N: 50, S: 10, InitDegree: 6})
+	before := graph.FromViews(p.Views()).NumEdges()
+	drive(p, 100000, 0.2, 2)
+	after := graph.FromViews(p.Views()).NumEdges()
+	if after < before {
+		t.Errorf("edge population shrank %d -> %d; keep-on-send must not lose ids", before, after)
+	}
+}
+
+func TestEvictionWhenFull(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 4, InitDegree: 4})
+	r := rng.New(3)
+	p.Deliver(1, protocol.Message{From: 0, IDs: []peer.ID{0, 7}}, r)
+	if got := p.View(1).Outdegree(); got != 4 {
+		t.Errorf("outdegree after eviction delivery = %d, want 4", got)
+	}
+	if c := p.Counters(); c.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", c.Evictions)
+	}
+	if !p.View(1).Contains(7) {
+		t.Error("delivered id not stored after eviction")
+	}
+}
+
+func TestFillsEmptySlotsFirst(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8, InitDegree: 2})
+	r := rng.New(4)
+	p.Deliver(1, protocol.Message{From: 0, IDs: []peer.ID{0, 7}}, r)
+	if got := p.View(1).Outdegree(); got != 4 {
+		t.Errorf("outdegree = %d, want 4 (no eviction needed)", got)
+	}
+	if c := p.Counters(); c.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0", c.Evictions)
+	}
+}
+
+func TestDependenceGrowsUnderGossip(t *testing.T) {
+	// Keep-on-send leaves sender and receiver holding the same ids; after a
+	// long run the graph should show substantially more same-view
+	// duplicates plus parallel structure than the id population requires.
+	p := mustNew(t, Config{N: 30, S: 10, InitDegree: 10})
+	drive(p, 30000, 0, 5)
+	g := graph.FromViews(p.Views())
+	if g.DuplicateEntries() == 0 && g.SelfEdges() == 0 {
+		t.Error("expected some duplicate or self entries in keep-on-send steady state")
+	}
+}
+
+func TestChurn(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8, InitDegree: 4})
+	p.Leave(2)
+	if p.Active(2) || p.View(2) != nil {
+		t.Fatal("Leave did not deactivate")
+	}
+	if err := p.Join(2, []peer.ID{0, 1, 3}); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if p.View(2).Outdegree() != 3 {
+		t.Errorf("joiner outdegree = %d, want 3", p.View(2).Outdegree())
+	}
+	if err := p.Join(2, []peer.ID{0}); err == nil {
+		t.Error("double join accepted")
+	}
+	p.Leave(3)
+	if err := p.Join(3, nil); err == nil {
+		t.Error("join without seeds accepted")
+	}
+	r := rng.New(6)
+	p.Leave(4)
+	if _, _, ok := p.Initiate(4, r); ok {
+		t.Error("departed node initiated")
+	}
+	p.Deliver(4, protocol.Message{From: 0, IDs: []peer.ID{0}}, r)
+	if p.Active(4) {
+		t.Error("delivery revived departed node")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8})
+	if p.Name() != "push-pull" || p.N() != 10 {
+		t.Errorf("identity: name=%q n=%d", p.Name(), p.N())
+	}
+	if p.View(0).Outdegree() != 8 {
+		t.Errorf("default init degree = %d, want s", p.View(0).Outdegree())
+	}
+}

@@ -1,0 +1,105 @@
+package sendforget
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/view"
+)
+
+// depTracker tags every view slot with a dependence bit, realizing the
+// dependence Markov chain of Figure 7.1 empirically:
+//
+//   - independent -> dependent: the entry was kept by a duplicating send, or
+//     was created by receiving a message from a duplicating send;
+//   - dependent -> independent: the entry moved to a new view via a
+//     non-duplicating send.
+//
+// On top of the tag, the paper's Section 2 labeling also counts all
+// self-edges as dependent and, for ids with multiplicity m > 1 in the same
+// view, m-1 of the copies as dependent. DependentFraction applies all three
+// rules; 1 minus it is the empirical alpha that Lemma 7.9 bounds from below
+// by 1 - 2(l+delta).
+type depTracker struct {
+	dep [][]bool // dep[u][slot]
+}
+
+func newDepTracker(n, s int) *depTracker {
+	d := &depTracker{dep: make([][]bool, n)}
+	for u := range d.dep {
+		d.dep[u] = make([]bool, s)
+	}
+	return d
+}
+
+func (d *depTracker) mark(u peer.ID, slot int, dependent bool) {
+	d.dep[u][slot] = dependent
+}
+
+// DependenceStats summarizes the dependence measurement over all views.
+type DependenceStats struct {
+	Entries    int // nonempty view entries
+	Tagged     int // entries tagged dependent by the duplication rule
+	SelfEdges  int // entries u.lv[i] = u
+	Duplicates int // same-view multiplicity overflow (m-1 per id with m > 1)
+	Dependent  int // entries dependent under the union of the three rules
+}
+
+// Alpha returns the fraction of independent entries (1 when no entries).
+func (s DependenceStats) Alpha() float64 {
+	if s.Entries == 0 {
+		return 1
+	}
+	return 1 - float64(s.Dependent)/float64(s.Entries)
+}
+
+// DependenceStats measures the current views. It returns the zero value if
+// the protocol was built without TrackDependence.
+func (p *Protocol) DependenceStats() DependenceStats {
+	var st DependenceStats
+	if p.deps == nil {
+		return st
+	}
+	seen := make(map[peer.ID]int)
+	for u, lv := range p.views {
+		if lv == nil {
+			continue
+		}
+		clear(seen)
+		for i := 0; i < lv.Size(); i++ {
+			id := lv.Slot(i)
+			if id.IsNil() {
+				continue
+			}
+			st.Entries++
+			dependent := false
+			if p.deps.dep[u][i] {
+				st.Tagged++
+				dependent = true
+			}
+			if int(id) == u {
+				st.SelfEdges++
+				dependent = true
+			}
+			seen[id]++
+			if seen[id] > 1 {
+				st.Duplicates++
+				dependent = true
+			}
+			if dependent {
+				st.Dependent++
+			}
+		}
+	}
+	return st
+}
+
+// dependentSlots returns the dependence tags for u's view; exposed for
+// white-box tests.
+func (p *Protocol) dependentSlots(u peer.ID) []bool {
+	if p.deps == nil {
+		return nil
+	}
+	return p.deps.dep[u]
+}
+
+// viewForTest returns the raw view for white-box tests in this package.
+func (p *Protocol) viewForTest(u peer.ID) *view.View { return p.views[u] }

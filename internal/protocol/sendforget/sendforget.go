@@ -1,0 +1,312 @@
+// Package sendforget implements the Send & Forget (S&F) protocol of
+// Section 5 of the paper (Figure 5.1).
+//
+// Each node u maintains a view of s slots (s even, s >= 6). An action
+// selects two distinct slots uniformly at random; if either is empty the
+// action is a self-loop. Otherwise, with v and w the selected ids, u sends
+// the message [u, w] to v and — unless its outdegree is at the duplication
+// threshold dL — clears both entries. The receiver stores both ids into
+// uniformly chosen empty slots unless its view is full, in which case the
+// ids are deleted. Duplications compensate for message loss (Section 5);
+// deletions shed the resulting surplus.
+//
+// Invariant (Observation 5.1): every node's outdegree stays even and within
+// [dL, s] at all times, given an initial topology that satisfies it.
+package sendforget
+
+import (
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// N is the number of nodes in the initial (static) system.
+	N int
+	// S is the view size s: even, at least 6 (the paper requires s >= 6 for
+	// the reachability proof of Lemma A.3).
+	S int
+	// DL is the duplication threshold dL: even, 0 <= DL <= S-6. Outdegrees
+	// never fall below DL; an initiating node at outdegree DL keeps ([]
+	// duplicates) the entries it sends.
+	DL int
+	// InitDegree is the initial outdegree of every node, even and within
+	// [max(DL,2), S]. Zero selects a default midway between DL and S.
+	InitDegree int
+	// TrackDependence enables the per-entry dependence tags used to measure
+	// Property M4 (see deps.go). It costs one bool per view slot.
+	TrackDependence bool
+}
+
+// validate checks the Config against the paper's parameter constraints.
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("sendforget: need at least 2 nodes, got %d", c.N)
+	}
+	if c.S < 6 || c.S%2 != 0 {
+		return fmt.Errorf("sendforget: view size s must be even and >= 6, got %d", c.S)
+	}
+	if c.DL < 0 || c.DL > c.S-6 || c.DL%2 != 0 {
+		return fmt.Errorf("sendforget: threshold dL must be even in [0, s-6], got dL=%d s=%d", c.DL, c.S)
+	}
+	if c.InitDegree != 0 {
+		if c.InitDegree%2 != 0 || c.InitDegree < c.DL || c.InitDegree > c.S {
+			return fmt.Errorf("sendforget: initial degree must be even in [dL, s], got %d", c.InitDegree)
+		}
+		if c.InitDegree < 2 {
+			return fmt.Errorf("sendforget: initial degree must be at least 2, got %d", c.InitDegree)
+		}
+		if c.InitDegree >= c.N {
+			return fmt.Errorf("sendforget: initial degree %d must be below n=%d", c.InitDegree, c.N)
+		}
+	}
+	return nil
+}
+
+// defaultInitDegree picks an even initial outdegree comfortably inside
+// [dL, s] so that neither duplications nor deletions fire immediately.
+func (c Config) defaultInitDegree() int {
+	d := (c.DL + c.S) / 2
+	if d%2 != 0 {
+		d--
+	}
+	if d < 2 {
+		d = 2
+	}
+	if d >= c.N {
+		d = c.N - 1
+		if d%2 != 0 {
+			d--
+		}
+	}
+	return d
+}
+
+// Counters tallies protocol events. The ratios between them realize the
+// quantities of Lemmas 6.6-6.7: Duplications/Sends is the empirical
+// duplication probability, Deletions/Sends the deletion probability.
+type Counters struct {
+	Initiations  int // Initiate calls
+	SelfLoops    int // actions that selected an empty entry (no-ops)
+	Sends        int // messages emitted (non-self-loop actions)
+	Duplications int // sends that kept (duplicated) the entries
+	Receives     int // messages delivered to us
+	Deletions    int // deliveries discarded because the view was full
+}
+
+// Protocol is the S&F protocol state for all nodes. It implements
+// protocol.Protocol and protocol.Churner. Not safe for concurrent use; the
+// drivers serialize access.
+type Protocol struct {
+	cfg      Config
+	views    []*view.View
+	active   []bool
+	counters Counters
+	deps     *depTracker // nil unless cfg.TrackDependence
+}
+
+var (
+	_ protocol.Protocol = (*Protocol)(nil)
+	_ protocol.Churner  = (*Protocol)(nil)
+)
+
+// New builds the protocol with the initial topology of initViews applied.
+// The initial membership graph is the circulant graph in which node u points
+// at u+1, ..., u+d (mod n): it is weakly connected, d-regular in and out, and
+// has sum degree exactly 3d at every node — the initialization Section 6.1
+// assumes. The gossip process then randomizes it (Lemma 7.5: with no loss
+// the stationary distribution is uniform over all reachable graphs).
+func New(cfg Config) (*Protocol, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitDegree == 0 {
+		cfg.InitDegree = cfg.defaultInitDegree()
+	}
+	if cfg.InitDegree >= cfg.N {
+		return nil, fmt.Errorf("sendforget: n=%d too small for initial degree %d", cfg.N, cfg.InitDegree)
+	}
+	p := &Protocol{
+		cfg:    cfg,
+		views:  make([]*view.View, cfg.N),
+		active: make([]bool, cfg.N),
+	}
+	for u := 0; u < cfg.N; u++ {
+		v := view.New(cfg.S)
+		for k := 1; k <= cfg.InitDegree; k++ {
+			v.Set(k-1, peer.ID((u+k)%cfg.N))
+		}
+		p.views[u] = v
+		p.active[u] = true
+	}
+	if cfg.TrackDependence {
+		p.deps = newDepTracker(cfg.N, cfg.S)
+	}
+	return p, nil
+}
+
+// Name returns "send&forget".
+func (p *Protocol) Name() string { return "send&forget" }
+
+// N returns the number of node slots.
+func (p *Protocol) N() int { return p.cfg.N }
+
+// Config returns the protocol parameters.
+func (p *Protocol) Config() Config { return p.cfg }
+
+// View returns u's view (nil after Leave).
+func (p *Protocol) View(u peer.ID) *view.View {
+	if !p.active[u] {
+		return nil
+	}
+	return p.views[u]
+}
+
+// Views returns the full view slice (nil entries for departed nodes), for
+// graph snapshots. Callers must not mutate the views.
+func (p *Protocol) Views() []*view.View {
+	out := make([]*view.View, p.cfg.N)
+	for u := range out {
+		if p.active[u] {
+			out[u] = p.views[u]
+		}
+	}
+	return out
+}
+
+// Counters returns a copy of the event counters.
+func (p *Protocol) Counters() Counters { return p.counters }
+
+// Initiate implements S&F-InitiateAction of Figure 5.1.
+func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
+	p.counters.Initiations++
+	lv := p.views[u]
+	if lv == nil {
+		// Departed nodes do not act; drivers normally never schedule them.
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	send, slots, ok := InitiateStep(lv, u, p.cfg.DL, r)
+	if !ok {
+		// Self-loop transformation: views remain unchanged.
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	if send.Dup {
+		p.counters.Duplications++
+	}
+	if p.deps != nil {
+		// On duplication the kept copies now share their information with
+		// the copies the message creates: mark them dependent. Otherwise
+		// the slots were cleared; reset their tags.
+		p.deps.mark(u, slots[0], send.Dup)
+		p.deps.mark(u, slots[1], send.Dup)
+	}
+	p.counters.Sends++
+	return send.To, protocol.Message{
+		Kind: protocol.KindGossip,
+		From: u,
+		IDs:  []peer.ID{send.IDs[0], send.IDs[1]},
+		Dup:  send.Dup,
+	}, true
+}
+
+// Deliver implements S&F-Receive of Figure 5.1. S&F never replies.
+func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
+	p.counters.Receives++
+	lv := p.views[u]
+	if lv == nil {
+		// Message addressed to a node that left; the driver normally drops
+		// these, but be robust.
+		return protocol.Message{}, 0, false
+	}
+	slots, stored := ReceiveStep(lv, p.cfg.S, [2]peer.ID{msg.IDs[0], msg.IDs[1]}, r)
+	if !stored {
+		// d(u) = s: the received ids are deleted.
+		p.counters.Deletions++
+		return protocol.Message{}, 0, false
+	}
+	if p.deps != nil {
+		// Entries created by a duplicating action are dependent (Figure
+		// 7.1: "received previously duplicated"); entries moved by a
+		// non-duplicating action become independent ("sent without
+		// duplication").
+		p.deps.mark(u, slots[0], msg.Dup)
+		p.deps.mark(u, slots[1], msg.Dup)
+	}
+	return protocol.Message{}, 0, false
+}
+
+// Join implements protocol.Churner. The seeds become the new node's initial
+// view; the paper requires at least dL live ids (obtained in practice by
+// copying another node's view). The seed count is truncated to an even
+// number of at most s entries.
+func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
+	if p.active[u] {
+		return fmt.Errorf("sendforget: node %v is already active", u)
+	}
+	k := len(seeds)
+	if k > p.cfg.S {
+		k = p.cfg.S
+	}
+	if k%2 != 0 {
+		k--
+	}
+	if k < p.cfg.DL {
+		return fmt.Errorf("sendforget: join of %v needs at least dL=%d seeds, got %d usable", u, p.cfg.DL, k)
+	}
+	if k < 2 {
+		return fmt.Errorf("sendforget: join of %v needs at least 2 seeds", u)
+	}
+	v := view.New(p.cfg.S)
+	for i := 0; i < k; i++ {
+		v.Set(i, seeds[i])
+	}
+	p.views[u] = v
+	p.active[u] = true
+	if p.deps != nil {
+		// A joiner's view is a copy of existing entries: all dependent.
+		for i := 0; i < k; i++ {
+			p.deps.mark(u, i, true)
+		}
+		for i := k; i < p.cfg.S; i++ {
+			p.deps.mark(u, i, false)
+		}
+	}
+	return nil
+}
+
+// Leave implements protocol.Churner: u stops participating. Its id remains
+// in other views and decays per Lemma 6.10.
+func (p *Protocol) Leave(u peer.ID) {
+	p.active[u] = false
+	p.views[u] = nil
+}
+
+// Active implements protocol.Churner.
+func (p *Protocol) Active(u peer.ID) bool { return p.active[u] }
+
+// CheckInvariants verifies Observation 5.1 for every active node: outdegree
+// even and within [dL, s]. Tests call it after long runs.
+func (p *Protocol) CheckInvariants() error {
+	for u, lv := range p.views {
+		if lv == nil {
+			continue
+		}
+		if err := lv.CheckInvariants(); err != nil {
+			return fmt.Errorf("node %d: %w", u, err)
+		}
+		d := lv.Outdegree()
+		if d%2 != 0 {
+			return fmt.Errorf("sendforget: node %d has odd outdegree %d", u, d)
+		}
+		if d < p.cfg.DL || d > p.cfg.S {
+			return fmt.Errorf("sendforget: node %d outdegree %d outside [%d, %d]", u, d, p.cfg.DL, p.cfg.S)
+		}
+	}
+	return nil
+}

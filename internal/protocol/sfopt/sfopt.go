@@ -1,0 +1,278 @@
+// Package sfopt implements the three optimizations Section 5 of the paper
+// lists but leaves to future work, as switchable variants of S&F:
+//
+//  1. Undeletion — "instead of removing sent ids from the view, the
+//     protocol could only mark them for deletion and then use undeletion
+//     instead of duplication": cleared ids go to a per-node graveyard, and
+//     a node at the duplication floor restores graveyard ids instead of
+//     keeping (duplicating) the live entries, avoiding the sender/receiver
+//     correlation that duplication creates.
+//  2. ReplaceWhenFull — "instead of discarding received ids when the view
+//     is full, the protocol could replace some existing view entries".
+//  3. BatchK — "more than two ids could be sent in a message": each action
+//     moves K ids (K even), reducing per-id message overhead.
+//
+// The abl3 experiment measures what each buys and costs relative to the
+// analyzed baseline.
+package sfopt
+
+import (
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Options parameterizes the variant protocol. The zero values of the
+// optimization fields yield exactly the baseline S&F semantics.
+type Options struct {
+	// N, S, DL, InitDegree as in the baseline protocol.
+	N, S, DL, InitDegree int
+	// BatchK is the number of ids moved per action (even, >= 2; the first
+	// is the sender's own id). Default 2 (the baseline [u, w]).
+	BatchK int
+	// ReplaceWhenFull overwrites random occupied entries instead of
+	// deleting ids that do not fit.
+	ReplaceWhenFull bool
+	// Undelete compensates at the dL floor by restoring recently cleared
+	// ids from a graveyard instead of duplicating live entries.
+	Undelete bool
+	// GraveyardSize bounds the per-node graveyard (default S).
+	GraveyardSize int
+}
+
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("sfopt: need at least 2 nodes, got %d", o.N)
+	}
+	if o.S < 6 || o.S%2 != 0 {
+		return fmt.Errorf("sfopt: view size must be even >= 6, got %d", o.S)
+	}
+	if o.DL < 0 || o.DL > o.S-6 || o.DL%2 != 0 {
+		return fmt.Errorf("sfopt: dL must be even in [0, s-6], got %d", o.DL)
+	}
+	if o.BatchK != 0 && (o.BatchK < 2 || o.BatchK%2 != 0 || o.BatchK > o.S) {
+		return fmt.Errorf("sfopt: batch size must be even in [2, s], got %d", o.BatchK)
+	}
+	if o.InitDegree != 0 && (o.InitDegree%2 != 0 || o.InitDegree < 2 || o.InitDegree > o.S || o.InitDegree >= o.N) {
+		return fmt.Errorf("sfopt: invalid initial degree %d", o.InitDegree)
+	}
+	return nil
+}
+
+// Counters tallies variant events.
+type Counters struct {
+	Initiations  int
+	SelfLoops    int
+	Sends        int
+	Duplications int // floor compensations by keeping entries
+	Undeletions  int // floor compensations from the graveyard
+	Receives     int
+	Stored       int // ids stored into empty slots
+	Replaced     int // ids stored by overwriting occupied slots
+	Deleted      int // ids dropped for lack of space
+}
+
+// Protocol is the optimized-variant S&F. It implements protocol.Protocol.
+type Protocol struct {
+	opts      Options
+	views     []*view.View
+	graveyard [][]peer.ID
+	counters  Counters
+}
+
+var _ protocol.Protocol = (*Protocol)(nil)
+
+// New builds the variant over the circulant bootstrap topology.
+func New(opts Options) (*Protocol, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.BatchK == 0 {
+		opts.BatchK = 2
+	}
+	if opts.GraveyardSize == 0 {
+		opts.GraveyardSize = opts.S
+	}
+	if opts.InitDegree == 0 {
+		d := (opts.DL + opts.S) / 2
+		if d%2 != 0 {
+			d--
+		}
+		if d < 2 {
+			d = 2
+		}
+		if d >= opts.N {
+			d = opts.N - 1
+			if d%2 != 0 {
+				d--
+			}
+		}
+		opts.InitDegree = d
+	}
+	if opts.InitDegree >= opts.N || opts.InitDegree < 2 {
+		return nil, fmt.Errorf("sfopt: n=%d too small for initial degree %d", opts.N, opts.InitDegree)
+	}
+	p := &Protocol{
+		opts:      opts,
+		views:     make([]*view.View, opts.N),
+		graveyard: make([][]peer.ID, opts.N),
+	}
+	for u := 0; u < opts.N; u++ {
+		v := view.New(opts.S)
+		for k := 1; k <= opts.InitDegree; k++ {
+			v.Set(k-1, peer.ID((u+k)%opts.N))
+		}
+		p.views[u] = v
+	}
+	return p, nil
+}
+
+// Name identifies the active variant combination.
+func (p *Protocol) Name() string {
+	name := "s&f-opt"
+	if p.opts.BatchK != 2 {
+		name += fmt.Sprintf("+batch%d", p.opts.BatchK)
+	}
+	if p.opts.ReplaceWhenFull {
+		name += "+replace"
+	}
+	if p.opts.Undelete {
+		name += "+undelete"
+	}
+	return name
+}
+
+// N returns the node count.
+func (p *Protocol) N() int { return p.opts.N }
+
+// Counters returns a copy of the counters.
+func (p *Protocol) Counters() Counters { return p.counters }
+
+// View returns u's view.
+func (p *Protocol) View(u peer.ID) *view.View { return p.views[u] }
+
+// Views returns all views for snapshotting.
+func (p *Protocol) Views() []*view.View {
+	out := make([]*view.View, p.opts.N)
+	copy(out, p.views)
+	return out
+}
+
+// Initiate selects BatchK distinct slots; the first non-empty rule of the
+// baseline generalizes to all selected slots being non-empty (a single
+// empty selection is a self-loop, keeping the analysis clean).
+func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
+	p.counters.Initiations++
+	lv := p.views[u]
+	k := p.opts.BatchK
+	slots := r.Choose(lv.Size(), k)
+	ids := make([]peer.ID, 0, k)
+	for _, slot := range slots {
+		id := lv.Slot(slot)
+		if id.IsNil() {
+			p.counters.SelfLoops++
+			return 0, protocol.Message{}, false
+		}
+		ids = append(ids, id)
+	}
+	target := ids[0]
+	atFloor := lv.Outdegree() <= p.opts.DL
+	switch {
+	case !atFloor:
+		for _, slot := range slots {
+			p.bury(u, lv.Slot(slot))
+			lv.Clear(slot)
+		}
+	case p.opts.Undelete && len(p.graveyard[u]) >= k:
+		// Optimization 1: clear the sent entries but refill from the
+		// graveyard — fresh-ish ids instead of correlated copies.
+		for _, slot := range slots {
+			lv.Clear(slot)
+		}
+		for i := 0; i < k; i++ {
+			id := p.exhume(u)
+			if empties, ok := lv.RandomEmptySlots(r, 1); ok {
+				lv.Set(empties[0], id)
+			}
+		}
+		p.counters.Undeletions++
+	default:
+		// Baseline duplication: keep the entries.
+		p.counters.Duplications++
+	}
+	p.counters.Sends++
+	payload := make([]peer.ID, k)
+	payload[0] = u
+	copy(payload[1:], ids[1:])
+	return target, protocol.Message{
+		Kind: protocol.KindGossip,
+		From: u,
+		IDs:  payload,
+		Dup:  atFloor,
+	}, true
+}
+
+// Deliver stores the batch, replacing or deleting on overflow per the
+// options. Parity of the outdegree is preserved: the number of empty slots
+// is even, so the count stored into empties is even whenever the batch is.
+func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
+	p.counters.Receives++
+	lv := p.views[u]
+	for _, id := range msg.IDs {
+		if empties, ok := lv.RandomEmptySlots(r, 1); ok {
+			lv.Set(empties[0], id)
+			p.counters.Stored++
+			continue
+		}
+		if p.opts.ReplaceWhenFull {
+			slot := r.Intn(lv.Size())
+			p.bury(u, lv.Slot(slot))
+			lv.Set(slot, id)
+			p.counters.Replaced++
+			continue
+		}
+		p.counters.Deleted++
+	}
+	return protocol.Message{}, 0, false
+}
+
+// bury pushes id onto u's graveyard (bounded FIFO).
+func (p *Protocol) bury(u peer.ID, id peer.ID) {
+	if !p.opts.Undelete || id.IsNil() {
+		return
+	}
+	gy := p.graveyard[u]
+	if len(gy) >= p.opts.GraveyardSize {
+		gy = gy[1:]
+	}
+	p.graveyard[u] = append(gy, id)
+}
+
+// exhume pops the most recently buried id.
+func (p *Protocol) exhume(u peer.ID) peer.ID {
+	gy := p.graveyard[u]
+	id := gy[len(gy)-1]
+	p.graveyard[u] = gy[:len(gy)-1]
+	return id
+}
+
+// CheckInvariants verifies even outdegrees within [dL-ish, s]. The variant
+// relaxes the hard dL floor only in that undeletion may briefly leave fewer
+// live entries if the graveyard ran dry mid-refill; parity must still hold.
+func (p *Protocol) CheckInvariants() error {
+	for u, lv := range p.views {
+		if err := lv.CheckInvariants(); err != nil {
+			return fmt.Errorf("node %d: %w", u, err)
+		}
+		if lv.Outdegree()%2 != 0 {
+			return fmt.Errorf("sfopt: node %d has odd outdegree %d", u, lv.Outdegree())
+		}
+		if lv.Outdegree() > p.opts.S {
+			return fmt.Errorf("sfopt: node %d outdegree %d exceeds s", u, lv.Outdegree())
+		}
+	}
+	return nil
+}

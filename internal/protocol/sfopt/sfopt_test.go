@@ -1,0 +1,204 @@
+package sfopt
+
+import (
+	"strings"
+	"testing"
+
+	"sendforget/internal/engine"
+	"sendforget/internal/graph"
+	"sendforget/internal/loss"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+)
+
+func mustNew(t *testing.T, o Options) *Protocol {
+	t.Helper()
+	p, err := New(o)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", o, err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    Options
+		wantErr string
+	}{
+		{"baseline valid", Options{N: 20, S: 12, DL: 4}, ""},
+		{"batch valid", Options{N: 20, S: 12, DL: 4, BatchK: 4}, ""},
+		{"odd batch", Options{N: 20, S: 12, DL: 4, BatchK: 3}, "batch size"},
+		{"batch above s", Options{N: 20, S: 12, DL: 4, BatchK: 14}, "batch size"},
+		{"odd s", Options{N: 20, S: 11, DL: 4}, "even >= 6"},
+		{"bad dL", Options{N: 20, S: 12, DL: 8}, "dL must be even"},
+		{"tiny n", Options{N: 1, S: 12, DL: 4}, "at least 2 nodes"},
+		{"odd init degree", Options{N: 20, S: 12, DL: 4, InitDegree: 5}, "initial degree"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.opts)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := mustNew(t, Options{N: 20, S: 12, DL: 4}).Name(); got != "s&f-opt" {
+		t.Errorf("baseline name = %q", got)
+	}
+	got := mustNew(t, Options{N: 20, S: 12, DL: 4, BatchK: 4, ReplaceWhenFull: true, Undelete: true}).Name()
+	for _, want := range []string{"batch4", "replace", "undelete"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("name %q missing %q", got, want)
+		}
+	}
+}
+
+func drive(t *testing.T, p *Protocol, lossRate float64, rounds int, seed int64) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(p, loss.MustUniform(lossRate), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(rounds)
+	return e
+}
+
+func TestBaselineVariantMatchesSFSemantics(t *testing.T) {
+	// With all optimizations off, the variant must behave like S&F: stable
+	// edge population, even degrees, connectivity.
+	p := mustNew(t, Options{N: 100, S: 16, DL: 6})
+	e := drive(t, p, 0.05, 300, 1)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	g := e.Snapshot()
+	if !g.WeaklyConnected() {
+		t.Error("variant baseline disconnected")
+	}
+	edges := float64(g.NumEdges()) / 100
+	if edges < 6 || edges > 16 {
+		t.Errorf("edges per node = %v, want stable mid-range", edges)
+	}
+	c := p.Counters()
+	if c.Duplications == 0 {
+		t.Error("no duplications under loss at baseline settings")
+	}
+	if c.Undeletions != 0 {
+		t.Error("undeletions recorded with Undelete disabled")
+	}
+}
+
+func TestBatchMovesMoreIDs(t *testing.T) {
+	base := mustNew(t, Options{N: 100, S: 16, DL: 6})
+	batch := mustNew(t, Options{N: 100, S: 16, DL: 6, BatchK: 4})
+	drive(t, base, 0, 200, 2)
+	drive(t, batch, 0, 200, 2)
+	cb, ck := base.Counters(), batch.Counters()
+	if cb.Sends == 0 || ck.Sends == 0 {
+		t.Fatal("no sends recorded")
+	}
+	perSendBase := float64(cb.Stored) / float64(cb.Sends)
+	perSendBatch := float64(ck.Stored) / float64(ck.Sends)
+	if perSendBatch <= perSendBase {
+		t.Errorf("batch4 moved %v ids/send vs baseline %v; want more", perSendBatch, perSendBase)
+	}
+	if err := batch.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceWhenFullNeverDeletes(t *testing.T) {
+	p := mustNew(t, Options{N: 50, S: 8, DL: 2, InitDegree: 6, ReplaceWhenFull: true})
+	drive(t, p, 0, 300, 3)
+	c := p.Counters()
+	if c.Deleted != 0 {
+		t.Errorf("Deleted = %d with ReplaceWhenFull", c.Deleted)
+	}
+	if c.Replaced == 0 {
+		t.Error("no replacements happened despite small views")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndeleteReducesDuplications(t *testing.T) {
+	base := mustNew(t, Options{N: 150, S: 12, DL: 6, InitDegree: 6})
+	und := mustNew(t, Options{N: 150, S: 12, DL: 6, InitDegree: 6, Undelete: true})
+	drive(t, base, 0.1, 300, 4)
+	drive(t, und, 0.1, 300, 4)
+	cb, cu := base.Counters(), und.Counters()
+	if cb.Duplications == 0 {
+		t.Fatal("baseline never duplicated; test configuration too easy")
+	}
+	if cu.Undeletions == 0 {
+		t.Error("undelete variant never undeleted")
+	}
+	if cu.Duplications >= cb.Duplications {
+		t.Errorf("undelete did not reduce duplications: %d vs baseline %d", cu.Duplications, cb.Duplications)
+	}
+	if err := und.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndeleteSurvivesLoss(t *testing.T) {
+	p := mustNew(t, Options{N: 150, S: 12, DL: 6, InitDegree: 6, Undelete: true})
+	e := drive(t, p, 0.1, 400, 5)
+	g := e.Snapshot()
+	edges := float64(g.NumEdges()) / 150
+	if edges < 4 {
+		t.Errorf("undelete variant decayed to %v edges/node under loss", edges)
+	}
+	if g.ComponentCount() > 2 {
+		t.Errorf("undelete variant fragmented: %d components", g.ComponentCount())
+	}
+}
+
+func TestDeliverDeletesWithoutReplace(t *testing.T) {
+	p := mustNew(t, Options{N: 10, S: 6, DL: 0, InitDegree: 6})
+	r := rng.New(6)
+	p.Deliver(1, protocol.Message{From: 0, IDs: []peer.ID{0, 3}}, r)
+	if c := p.Counters(); c.Deleted != 2 {
+		t.Errorf("Deleted = %d, want 2 at full view", c.Deleted)
+	}
+}
+
+func TestSelfLoopOnEmptySelection(t *testing.T) {
+	p := mustNew(t, Options{N: 10, S: 12, DL: 0, InitDegree: 2})
+	r := rng.New(7)
+	loops := 0
+	for i := 0; i < 100; i++ {
+		if _, _, ok := p.Initiate(0, r); !ok {
+			loops++
+		}
+	}
+	if loops == 0 {
+		t.Error("no self-loops despite mostly-empty view")
+	}
+	if c := p.Counters(); c.SelfLoops != loops {
+		t.Errorf("SelfLoops = %d, want %d", c.SelfLoops, loops)
+	}
+}
+
+func TestSnapshotViaGraph(t *testing.T) {
+	p := mustNew(t, Options{N: 30, S: 12, DL: 4})
+	g := graph.FromViews(p.Views())
+	if !g.WeaklyConnected() {
+		t.Error("initial variant topology disconnected")
+	}
+	if p.N() != 30 {
+		t.Errorf("N = %d", p.N())
+	}
+}

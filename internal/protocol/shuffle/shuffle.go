@@ -1,0 +1,221 @@
+// Package shuffle implements a delete-on-send shuffle baseline in the
+// spirit of Cyclon [34] and the shuffle/flipper protocols [1, 26, 27] the
+// paper surveys in Section 3.1.
+//
+// An initiator removes two entries (its exchange offer), sends them together
+// with its own id to the first one, and the receiver replies with two of its
+// own entries, which it removes and replaces by the received ids. Without
+// loss the total number of ids in the system is conserved. With loss every
+// dropped request or reply permanently destroys the removed ids — the paper's
+// claim that such protocols "are unable to withstand message loss ... since
+// the system gradually loses more and more ids" is exactly the behaviour the
+// base1 experiment measures against S&F.
+package shuffle
+
+import (
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Config parameterizes the shuffle baseline.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// S is the view size (at least 2).
+	S int
+	// InitDegree is the initial outdegree (defaults to S/2, at least 2).
+	InitDegree int
+}
+
+// Counters tallies baseline events.
+type Counters struct {
+	Initiations int
+	SelfLoops   int
+	Requests    int
+	Replies     int
+	Dropped     int // received ids discarded because no empty slot was left
+}
+
+// Protocol is the shuffle baseline state. It implements protocol.Protocol
+// and protocol.Churner.
+type Protocol struct {
+	cfg      Config
+	views    []*view.View
+	active   []bool
+	counters Counters
+}
+
+var (
+	_ protocol.Protocol = (*Protocol)(nil)
+	_ protocol.Churner  = (*Protocol)(nil)
+)
+
+// New builds the baseline over the same circulant initial topology as S&F.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("shuffle: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.S < 2 {
+		return nil, fmt.Errorf("shuffle: view size must be >= 2, got %d", cfg.S)
+	}
+	if cfg.InitDegree == 0 {
+		cfg.InitDegree = cfg.S / 2
+		if cfg.InitDegree < 2 {
+			cfg.InitDegree = 2
+		}
+	}
+	if cfg.InitDegree > cfg.S || cfg.InitDegree >= cfg.N {
+		return nil, fmt.Errorf("shuffle: initial degree %d must fit view %d and n %d", cfg.InitDegree, cfg.S, cfg.N)
+	}
+	p := &Protocol{
+		cfg:    cfg,
+		views:  make([]*view.View, cfg.N),
+		active: make([]bool, cfg.N),
+	}
+	for u := 0; u < cfg.N; u++ {
+		v := view.New(cfg.S)
+		for k := 1; k <= cfg.InitDegree; k++ {
+			v.Set(k-1, peer.ID((u+k)%cfg.N))
+		}
+		p.views[u] = v
+		p.active[u] = true
+	}
+	return p, nil
+}
+
+// Name returns "shuffle".
+func (p *Protocol) Name() string { return "shuffle" }
+
+// N returns the number of node slots.
+func (p *Protocol) N() int { return p.cfg.N }
+
+// Counters returns a copy of the counters.
+func (p *Protocol) Counters() Counters { return p.counters }
+
+// View returns u's view (nil after Leave).
+func (p *Protocol) View(u peer.ID) *view.View {
+	if !p.active[u] {
+		return nil
+	}
+	return p.views[u]
+}
+
+// Views returns all views for snapshotting.
+func (p *Protocol) Views() []*view.View {
+	out := make([]*view.View, p.cfg.N)
+	for u := range out {
+		if p.active[u] {
+			out[u] = p.views[u]
+		}
+	}
+	return out
+}
+
+// Initiate removes two entries and offers them to the first.
+func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
+	p.counters.Initiations++
+	lv := p.views[u]
+	if lv == nil {
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	i, j := lv.RandomPair(r)
+	v, w := lv.Slot(i), lv.Slot(j)
+	if v.IsNil() || w.IsNil() {
+		p.counters.SelfLoops++
+		return 0, protocol.Message{}, false
+	}
+	lv.Clear(i)
+	lv.Clear(j)
+	p.counters.Requests++
+	return v, protocol.Message{
+		Kind: protocol.KindRequest,
+		From: u,
+		IDs:  []peer.ID{u, w},
+	}, true
+}
+
+// Deliver handles requests (store ids, remove and reply with two own
+// entries) and replies (store ids).
+func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
+	lv := p.views[u]
+	if lv == nil {
+		return protocol.Message{}, 0, false
+	}
+	switch msg.Kind {
+	case protocol.KindRequest:
+		p.store(lv, msg.IDs, r)
+		// Offer up to two of our own entries back, removing them.
+		occupied := lv.OccupiedSlots()
+		k := 2
+		if len(occupied) < k {
+			k = len(occupied)
+		}
+		if k == 0 {
+			return protocol.Message{}, 0, false
+		}
+		var offer []peer.ID
+		for _, idx := range r.Choose(len(occupied), k) {
+			slot := occupied[idx]
+			offer = append(offer, lv.Slot(slot))
+			lv.Clear(slot)
+		}
+		p.counters.Replies++
+		return protocol.Message{
+			Kind: protocol.KindReply,
+			From: u,
+			IDs:  offer,
+		}, msg.From, true
+	case protocol.KindReply:
+		p.store(lv, msg.IDs, r)
+		return protocol.Message{}, 0, false
+	default:
+		return protocol.Message{}, 0, false
+	}
+}
+
+// store places ids into uniformly chosen empty slots, dropping ids that do
+// not fit (counted).
+func (p *Protocol) store(lv *view.View, ids []peer.ID, r *rng.RNG) {
+	for _, id := range ids {
+		slots, ok := lv.RandomEmptySlots(r, 1)
+		if !ok {
+			p.counters.Dropped++
+			continue
+		}
+		lv.Set(slots[0], id)
+	}
+}
+
+// Join implements protocol.Churner.
+func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
+	if p.active[u] {
+		return fmt.Errorf("shuffle: node %v is already active", u)
+	}
+	if len(seeds) == 0 {
+		return fmt.Errorf("shuffle: join of %v needs seeds", u)
+	}
+	v := view.New(p.cfg.S)
+	for i, id := range seeds {
+		if i >= p.cfg.S {
+			break
+		}
+		v.Set(i, id)
+	}
+	p.views[u] = v
+	p.active[u] = true
+	return nil
+}
+
+// Leave implements protocol.Churner.
+func (p *Protocol) Leave(u peer.ID) {
+	p.active[u] = false
+	p.views[u] = nil
+}
+
+// Active implements protocol.Churner.
+func (p *Protocol) Active(u peer.ID) bool { return p.active[u] }

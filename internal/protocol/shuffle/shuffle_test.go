@@ -1,0 +1,201 @@
+package shuffle
+
+import (
+	"testing"
+
+	"sendforget/internal/graph"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+)
+
+func mustNew(t *testing.T, cfg Config) *Protocol {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{N: 1, S: 4}); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := New(Config{N: 10, S: 1}); err == nil {
+		t.Error("accepted s=1")
+	}
+	if _, err := New(Config{N: 10, S: 4, InitDegree: 5}); err == nil {
+		t.Error("accepted init degree > s")
+	}
+	if _, err := New(Config{N: 3, S: 8, InitDegree: 4}); err == nil {
+		t.Error("accepted init degree >= n")
+	}
+}
+
+func TestInitialTopologyConnected(t *testing.T) {
+	p := mustNew(t, Config{N: 20, S: 8, InitDegree: 4})
+	g := graph.FromViews(p.Views())
+	if !g.WeaklyConnected() {
+		t.Fatal("initial topology disconnected")
+	}
+	if p.Name() != "shuffle" || p.N() != 20 {
+		t.Errorf("identity: name=%q n=%d", p.Name(), p.N())
+	}
+}
+
+// drive runs full request/reply exchanges, losing each message with pLoss.
+func drive(p *Protocol, actions int, pLoss float64, seed int64) {
+	r := rng.New(seed)
+	n := p.N()
+	for k := 0; k < actions; k++ {
+		u := peer.ID(r.Intn(n))
+		if !p.Active(u) {
+			continue
+		}
+		to, msg, ok := p.Initiate(u, r)
+		if !ok {
+			continue
+		}
+		if r.Bernoulli(pLoss) {
+			continue // request lost
+		}
+		if !p.Active(to) {
+			continue
+		}
+		reply, replyTo, hasReply := p.Deliver(to, msg, r)
+		if !hasReply || r.Bernoulli(pLoss) {
+			continue // no reply or reply lost
+		}
+		if p.Active(replyTo) {
+			p.Deliver(replyTo, reply, r)
+		}
+	}
+}
+
+func TestEdgesConservedWithoutLoss(t *testing.T) {
+	p := mustNew(t, Config{N: 30, S: 10, InitDegree: 4})
+	before := graph.FromViews(p.Views()).NumEdges()
+	drive(p, 20000, 0, 1)
+	after := graph.FromViews(p.Views()).NumEdges()
+	// The initiator injects its own id into its offer, so each full
+	// exchange conserves the id population exactly except for drops when a
+	// view fills up.
+	c := p.Counters()
+	want := before - c.Dropped
+	if after != want {
+		t.Errorf("edges = %d, want %d (before=%d dropped=%d)", after, want, before, c.Dropped)
+	}
+	if after < before-c.Dropped-1 {
+		t.Errorf("ids destroyed without loss: %d -> %d", before, after)
+	}
+}
+
+func TestIDsDecayUnderLoss(t *testing.T) {
+	// The paper's Section 3.1 claim: delete-on-send protocols gradually
+	// lose ids under message loss. At 20% loss and many rounds, the edge
+	// population must collapse far below its initial value.
+	p := mustNew(t, Config{N: 50, S: 10, InitDegree: 6})
+	before := graph.FromViews(p.Views()).NumEdges()
+	drive(p, 100000, 0.2, 2)
+	after := graph.FromViews(p.Views()).NumEdges()
+	if after > before/4 {
+		t.Errorf("edge population %d -> %d; expected collapse under 20%% loss", before, after)
+	}
+}
+
+func TestRequestGeneratesReply(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8, InitDegree: 4})
+	r := rng.New(3)
+	for k := 0; k < 1000; k++ {
+		to, msg, ok := p.Initiate(0, r)
+		if !ok {
+			continue
+		}
+		reply, replyTo, hasReply := p.Deliver(to, msg, r)
+		if !hasReply {
+			t.Fatal("request produced no reply from non-empty view")
+		}
+		if replyTo != 0 {
+			t.Errorf("reply addressed to %v, want n0", replyTo)
+		}
+		if reply.Kind != protocol.KindReply {
+			t.Errorf("reply kind = %v", reply.Kind)
+		}
+		if len(reply.IDs) == 0 || len(reply.IDs) > 2 {
+			t.Errorf("reply carries %d ids", len(reply.IDs))
+		}
+		p.Deliver(replyTo, reply, r)
+		return
+	}
+	t.Fatal("no exchange in 1000 attempts")
+}
+
+func TestSelfLoopOnEmptyView(t *testing.T) {
+	p := mustNew(t, Config{N: 4, S: 4, InitDegree: 2})
+	// Drain node 0's view via lost requests.
+	r := rng.New(4)
+	for k := 0; k < 10000 && p.View(0).Outdegree() > 0; k++ {
+		p.Initiate(0, r)
+	}
+	if p.View(0).Outdegree() != 0 {
+		t.Fatal("failed to drain view")
+	}
+	if _, _, ok := p.Initiate(0, r); ok {
+		t.Error("empty view initiated an exchange")
+	}
+}
+
+func TestChurn(t *testing.T) {
+	p := mustNew(t, Config{N: 10, S: 8, InitDegree: 4})
+	p.Leave(2)
+	if p.Active(2) || p.View(2) != nil {
+		t.Fatal("Leave did not deactivate")
+	}
+	if err := p.Join(2, []peer.ID{0, 1}); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if !p.Active(2) || p.View(2).Outdegree() != 2 {
+		t.Fatal("Join did not restore the node")
+	}
+	if err := p.Join(2, []peer.ID{0}); err == nil {
+		t.Error("double join accepted")
+	}
+	p.Leave(3)
+	if err := p.Join(3, nil); err == nil {
+		t.Error("join without seeds accepted")
+	}
+	// Seeds beyond s are truncated.
+	p.Leave(4)
+	seeds := make([]peer.ID, 12)
+	for i := range seeds {
+		seeds[i] = peer.ID(i % 3)
+	}
+	if err := p.Join(4, seeds); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.View(4).Outdegree(); got != 8 {
+		t.Errorf("overflow join outdegree = %d, want 8", got)
+	}
+	// Departed nodes neither initiate nor reply.
+	r := rng.New(5)
+	p.Leave(5)
+	if _, _, ok := p.Initiate(5, r); ok {
+		t.Error("departed node initiated")
+	}
+	if _, _, hasReply := p.Deliver(5, protocol.Message{Kind: protocol.KindRequest, From: 0, IDs: []peer.ID{0, 1}}, r); hasReply {
+		t.Error("departed node replied")
+	}
+}
+
+func TestUnknownKindIgnored(t *testing.T) {
+	p := mustNew(t, Config{N: 4, S: 4, InitDegree: 2})
+	r := rng.New(6)
+	before := p.View(1).Clone()
+	if _, _, hasReply := p.Deliver(1, protocol.Message{Kind: 99, From: 0, IDs: []peer.ID{0}}, r); hasReply {
+		t.Error("unknown kind produced a reply")
+	}
+	if !p.View(1).Equal(before) {
+		t.Error("unknown kind mutated the view")
+	}
+}

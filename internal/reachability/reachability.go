@@ -1,0 +1,313 @@
+// Package reachability implements the constructive graph transformations
+// of the paper's Appendix ("Uniformity and independence"): the edge
+// exchange and degree borrowing operations that the proofs of Lemmas
+// A.1-A.3 compose to show that every membership graph can be reached from
+// every other by a sequence of S&F actions (with adversarially chosen loss
+// outcomes, each of which has positive probability).
+//
+// Everything here is expressed as sequences of concrete S&F actions; Apply
+// validates that each action is legal under the protocol semantics before
+// mutating the graph, so a returned plan is a machine-checked witness of
+// reachability.
+package reachability
+
+import "fmt"
+
+// Config carries the protocol parameters the transformations must respect.
+type Config struct {
+	// S is the view size; DL the duplication threshold.
+	S, DL int
+}
+
+// Graph is a small mutable membership multigraph: M[u][v] is the
+// multiplicity of v in u's view.
+type Graph struct {
+	M [][]int
+}
+
+// NewGraph returns an empty n-node graph.
+func NewGraph(n int) *Graph {
+	g := &Graph{M: make([][]int, n)}
+	for u := range g.M {
+		g.M[u] = make([]int, n)
+	}
+	return g
+}
+
+// FromMult builds a graph from a multiplicity matrix (deep copied).
+func FromMult(m [][]int) (*Graph, error) {
+	n := len(m)
+	g := NewGraph(n)
+	for u := range m {
+		if len(m[u]) != n {
+			return nil, fmt.Errorf("reachability: row %d has %d entries, want %d", u, len(m[u]), n)
+		}
+		for v, k := range m[u] {
+			if k < 0 {
+				return nil, fmt.Errorf("reachability: negative multiplicity at (%d,%d)", u, v)
+			}
+			g.M[u][v] = k
+		}
+	}
+	return g, nil
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.M) }
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.N())
+	for u := range g.M {
+		copy(c.M[u], g.M[u])
+	}
+	return c
+}
+
+// OutDeg returns d(u).
+func (g *Graph) OutDeg(u int) int {
+	d := 0
+	for _, k := range g.M[u] {
+		d += k
+	}
+	return d
+}
+
+// Equal reports multiplicity-matrix equality.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.N() != o.N() {
+		return false
+	}
+	for u := range g.M {
+		for v := range g.M[u] {
+			if g.M[u][v] != o.M[u][v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Action is one S&F action with a chosen loss outcome. The initiator From
+// selects an entry holding Target (the message destination) and an entry
+// holding Payload; duplication is determined by the protocol state, loss by
+// the Lost field (any outcome has positive probability under 0 < l < 1, so
+// a plan of actions is a positive-probability path in the global MC).
+type Action struct {
+	From, Target, Payload int
+	Lost                  bool
+}
+
+// Apply executes the action on g under cfg, validating legality. It
+// returns a description of what happened (dup/deletion) for tests.
+func Apply(g *Graph, cfg Config, a Action) (dup, deleted bool, err error) {
+	n := g.N()
+	for _, x := range []int{a.From, a.Target, a.Payload} {
+		if x < 0 || x >= n {
+			return false, false, fmt.Errorf("reachability: node %d out of range", x)
+		}
+	}
+	if g.M[a.From][a.Target] < 1 {
+		return false, false, fmt.Errorf("reachability: %d's view lacks target %d", a.From, a.Target)
+	}
+	need := 1
+	if a.Payload == a.Target {
+		need = 2
+	}
+	if g.M[a.From][a.Payload] < need {
+		return false, false, fmt.Errorf("reachability: %d's view lacks payload %d", a.From, a.Payload)
+	}
+	d := g.OutDeg(a.From)
+	if d > cfg.S {
+		return false, false, fmt.Errorf("reachability: node %d outdegree %d exceeds s=%d", a.From, d, cfg.S)
+	}
+	dup = d <= cfg.DL
+	if !dup {
+		g.M[a.From][a.Target]--
+		g.M[a.From][a.Payload]--
+	}
+	if a.Lost {
+		return dup, false, nil
+	}
+	if g.OutDeg(a.Target) >= cfg.S {
+		return dup, true, nil
+	}
+	g.M[a.Target][a.From]++
+	g.M[a.Target][a.Payload]++
+	return dup, false, nil
+}
+
+// ApplyAll executes a plan, failing on the first illegal action.
+func ApplyAll(g *Graph, cfg Config, plan []Action) error {
+	for i, a := range plan {
+		if _, _, err := Apply(g, cfg, a); err != nil {
+			return fmt.Errorf("action %d (%+v): %w", i, a, err)
+		}
+	}
+	return nil
+}
+
+// EdgeExchange returns the two-action plan of the Appendix's "edge exchange
+// transformation of (u,w) and (v,z)" for out-neighbors u -> v: it removes
+// edges (u,w) and (v,z) and creates (u,z) and (v,w), leaving everything
+// else unchanged. Prerequisites (checked): v in u's view, w in u's view
+// (alongside v), z in v's view, d(u) > dL, and d(v) < s; additionally v's
+// reply step must itself be a non-duplicating action, which holds when
+// d(v)+2 > dL.
+func EdgeExchange(g *Graph, cfg Config, u, w, v, z int) ([]Action, error) {
+	if u == v {
+		return nil, fmt.Errorf("reachability: edge exchange needs distinct u, v")
+	}
+	if g.M[u][v] < 1 {
+		return nil, fmt.Errorf("reachability: u=%d has no edge to v=%d", u, v)
+	}
+	need := 1
+	if w == v {
+		need = 2
+	}
+	if g.M[u][w] < need {
+		return nil, fmt.Errorf("reachability: u=%d lacks payload edge to w=%d", u, w)
+	}
+	if g.M[v][z] < 1 {
+		return nil, fmt.Errorf("reachability: v=%d lacks edge to z=%d", v, z)
+	}
+	if g.OutDeg(u) <= cfg.DL {
+		return nil, fmt.Errorf("reachability: d(u)=%d must exceed dL=%d", g.OutDeg(u), cfg.DL)
+	}
+	if g.OutDeg(v) >= cfg.S {
+		return nil, fmt.Errorf("reachability: d(v)=%d must be below s=%d", g.OutDeg(v), cfg.S)
+	}
+	if g.OutDeg(v)+2 <= cfg.DL {
+		return nil, fmt.Errorf("reachability: v's reply would duplicate (d(v)+2 <= dL)")
+	}
+	// Step 1: u sends [u, w] to v, clearing v and w; v stores u and w.
+	// Step 2: v sends [v, z] to u, clearing u and z; u stores v and z.
+	return []Action{
+		{From: u, Target: v, Payload: w},
+		{From: v, Target: u, Payload: z},
+	}, nil
+}
+
+// DegreeBorrow returns the one-action plan of the Appendix's "degree
+// borrowing transformation between u and v" for out-neighbors u -> v: it
+// decreases d(u) by 2 and increases d(v) by 2, preserving both sum degrees.
+// Prerequisites: v in u's view, d(u) > dL (payload entry needed too),
+// d(v) < s.
+func DegreeBorrow(g *Graph, cfg Config, u, v int) ([]Action, error) {
+	if u == v {
+		return nil, fmt.Errorf("reachability: degree borrowing needs distinct u, v")
+	}
+	if g.M[u][v] < 1 {
+		return nil, fmt.Errorf("reachability: u=%d has no edge to v=%d", u, v)
+	}
+	if g.OutDeg(u) <= cfg.DL {
+		return nil, fmt.Errorf("reachability: d(u)=%d must exceed dL=%d", g.OutDeg(u), cfg.DL)
+	}
+	if g.OutDeg(v) >= cfg.S {
+		return nil, fmt.Errorf("reachability: d(v)=%d must be below s=%d", g.OutDeg(v), cfg.S)
+	}
+	// Any payload entry works; pick one (v itself if duplicated, else the
+	// first other out-neighbor).
+	payload := -1
+	if g.M[u][v] >= 2 {
+		payload = v
+	} else {
+		for x, k := range g.M[u] {
+			if x != v && k > 0 {
+				payload = x
+				break
+			}
+		}
+	}
+	if payload < 0 {
+		return nil, fmt.Errorf("reachability: u=%d has no payload entry besides its edge to v", u)
+	}
+	return []Action{{From: u, Target: v, Payload: payload}}, nil
+}
+
+// ShedEdges returns a plan that lowers d(u) by 2*count using actions whose
+// messages are lost — the Appendix's device for removing surplus edges
+// ("we invoke S&F transformations involving loss"). Requires
+// d(u) - 2*count > dL so no send duplicates.
+func ShedEdges(g *Graph, cfg Config, u, count int) ([]Action, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("reachability: negative count")
+	}
+	work := g.Clone()
+	var plan []Action
+	for k := 0; k < count; k++ {
+		// The send must neither duplicate (outdegree above dL) nor leave
+		// the node below the floor afterwards.
+		if work.OutDeg(u) <= cfg.DL || work.OutDeg(u)-2 < cfg.DL {
+			return nil, fmt.Errorf("reachability: shedding would hit the dL floor at step %d", k)
+		}
+		// Pick any two entries (a target and a payload).
+		target, payload := -1, -1
+		for x, m := range work.M[u] {
+			if m > 0 && target < 0 {
+				target = x
+				if m > 1 {
+					payload = x
+				}
+				continue
+			}
+			if m > 0 && payload < 0 {
+				payload = x
+			}
+		}
+		if target < 0 || payload < 0 {
+			return nil, fmt.Errorf("reachability: node %d lacks two entries to shed", u)
+		}
+		a := Action{From: u, Target: target, Payload: payload, Lost: true}
+		if _, _, err := Apply(work, cfg, a); err != nil {
+			return nil, err
+		}
+		plan = append(plan, a)
+	}
+	return plan, nil
+}
+
+// GrowEdges returns a plan that raises d(v) by 2*count by having an
+// in-neighbor at the duplication floor repeatedly send to v — the
+// Appendix's device for creating edges ("once u reaches an outdegree of dL,
+// we invoke S&F transformations where u sends messages to its out-neighbors
+// and performs duplications"). donor must hold v in its view and sit at
+// outdegree <= dL (so its sends duplicate); v must have room.
+func GrowEdges(g *Graph, cfg Config, donor, v, count int) ([]Action, error) {
+	if donor == v {
+		return nil, fmt.Errorf("reachability: donor must differ from v")
+	}
+	if g.M[donor][v] < 1 {
+		return nil, fmt.Errorf("reachability: donor %d lacks an edge to %d", donor, v)
+	}
+	if g.OutDeg(donor) > cfg.DL {
+		return nil, fmt.Errorf("reachability: donor outdegree %d above dL=%d would not duplicate", g.OutDeg(donor), cfg.DL)
+	}
+	work := g.Clone()
+	var plan []Action
+	for k := 0; k < count; k++ {
+		if work.OutDeg(v) >= cfg.S {
+			return nil, fmt.Errorf("reachability: v full at step %d", k)
+		}
+		payload := -1
+		if work.M[donor][v] >= 2 {
+			payload = v
+		} else {
+			for x, m := range work.M[donor] {
+				if x != v && m > 0 {
+					payload = x
+					break
+				}
+			}
+		}
+		if payload < 0 {
+			return nil, fmt.Errorf("reachability: donor lacks a payload entry")
+		}
+		a := Action{From: donor, Target: v, Payload: payload}
+		if _, _, err := Apply(work, cfg, a); err != nil {
+			return nil, err
+		}
+		plan = append(plan, a)
+	}
+	return plan, nil
+}

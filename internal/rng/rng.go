@@ -1,0 +1,178 @@
+// Package rng provides the deterministic pseudo-random source used by every
+// stochastic component in the repository.
+//
+// The generator is xoshiro256** seeded through SplitMix64, implemented from
+// scratch so that experiment results are reproducible bit-for-bit across Go
+// releases (math/rand's global source and shuffling order are not stable
+// guarantees we want to depend on). The API mirrors the small slice of
+// math/rand the protocols need, plus the sampling helpers the paper's
+// protocol steps require (uniform distinct pairs, Bernoulli trials).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random number generator. It is not safe for
+// concurrent use; give each goroutine its own generator via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output. It is
+// used to expand seeds into full xoshiro state, as recommended by the
+// xoshiro authors.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Distinct seeds yield independent
+// streams for all practical purposes.
+func New(seed int64) *RNG {
+	r := &RNG{}
+	sm := uint64(seed)
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// A state of all zeros is the one invalid xoshiro state; SplitMix64
+	// cannot produce four zero outputs in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator. The child's stream is
+// decorrelated from the parent's subsequent outputs by reseeding through
+// SplitMix64.
+func (r *RNG) Split() *RNG {
+	c := &RNG{}
+	for i := range c.s {
+		seed := r.Uint64()
+		c.s[i] = splitMix64(&seed)
+	}
+	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
+		c.s[0] = 0x9e3779b97f4a7c15
+	}
+	return c
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.uint64n(uint64(n)))
+}
+
+// uint64n returns a uniform value in [0, n) using Lemire's unbiased
+// multiply-shift rejection method.
+func (r *RNG) uint64n(n uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0,1] are
+// clamped (p<=0 never fires, p>=1 always fires).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Pair returns an ordered pair of distinct uniform indices (i, j) in [0, n).
+// This is the "select 1 <= i != j <= s u.a.r." step of the S&F protocol
+// (Figure 5.1, line 2). It panics if n < 2.
+func (r *RNG) Pair(n int) (i, j int) {
+	if n < 2 {
+		panic("rng: Pair called with n < 2")
+	}
+	i = r.Intn(n)
+	j = r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choose returns k distinct uniform indices from [0, n) in random order,
+// sampled without replacement (Floyd's algorithm would also work; for the
+// small k used here a partial Fisher-Yates is simplest). It panics if k > n
+// or k < 0.
+func (r *RNG) Choose(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Choose called with k out of range")
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k]
+}
+
+// Exp returns an exponentially distributed value with rate lambda, used by
+// the concurrent runtime to jitter gossip periods. It panics if lambda <= 0.
+func (r *RNG) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp called with lambda <= 0")
+	}
+	// Inverse transform on (0,1]; 1-Float64() avoids log(0).
+	u := 1 - r.Float64()
+	return -math.Log(u) / lambda
+}

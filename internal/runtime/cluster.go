@@ -1,0 +1,197 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"sendforget/internal/graph"
+	"sendforget/internal/loss"
+	"sendforget/internal/peer"
+	"sendforget/internal/rng"
+	"sendforget/internal/transport"
+	"sendforget/internal/view"
+)
+
+// ClusterConfig parameterizes an in-memory cluster of runtime nodes.
+type ClusterConfig struct {
+	// N is the number of nodes.
+	N int
+	// S, DL are the S&F parameters shared by all nodes.
+	S, DL int
+	// InitDegree is the circulant bootstrap outdegree (0 selects an even
+	// value midway between DL and S).
+	InitDegree int
+	// Loss is the uniform message loss rate of the in-memory network.
+	Loss float64
+	// Period is each node's gossip period (for Start; TickRound works
+	// without timers). Defaults to 10ms for fast examples.
+	Period time.Duration
+	// Seed drives the network loss and per-node RNGs.
+	Seed int64
+}
+
+// Cluster is a set of concurrently running S&F nodes wired through an
+// in-memory lossy network.
+type Cluster struct {
+	cfg   ClusterConfig
+	net   *transport.Network
+	nodes []*Node
+}
+
+// NewCluster wires up the nodes with the circulant bootstrap topology.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("runtime: cluster needs at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.Period == 0 {
+		cfg.Period = 10 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.InitDegree == 0 {
+		d := (cfg.DL + cfg.S) / 2
+		if d%2 != 0 {
+			d--
+		}
+		if d < 2 {
+			d = 2
+		}
+		cfg.InitDegree = d
+	}
+	if cfg.InitDegree >= cfg.N {
+		return nil, fmt.Errorf("runtime: init degree %d must be below n=%d", cfg.InitDegree, cfg.N)
+	}
+	lm, err := loss.NewUniform(cfg.Loss)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := transport.NewNetwork(lm, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, net: nw, nodes: make([]*Node, cfg.N)}
+	for u := 0; u < cfg.N; u++ {
+		seeds := make([]peer.ID, cfg.InitDegree)
+		for k := range seeds {
+			seeds[k] = peer.ID((u + k + 1) % cfg.N)
+		}
+		node, err := NewNode(NodeConfig{
+			ID:     peer.ID(u),
+			S:      cfg.S,
+			DL:     cfg.DL,
+			Period: cfg.Period,
+			Seed:   cfg.Seed + int64(u) + 1,
+		}, seeds, nw)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: node %d: %w", u, err)
+		}
+		c.nodes[u] = node
+		nw.Register(peer.ID(u), node.HandleMessage)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Network returns the underlying in-memory network.
+func (c *Cluster) Network() *transport.Network { return c.net }
+
+// Start launches every node's gossip loop.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Start()
+		}
+	}
+}
+
+// Stop terminates every node.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Stop()
+		}
+	}
+}
+
+// TickRound drives one synchronous round — every live node initiates once —
+// for deterministic tests and examples that do not want wall-clock timers.
+func (c *Cluster) TickRound() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Tick()
+		}
+	}
+}
+
+// Views snapshots all node views (nil entries for departed nodes).
+func (c *Cluster) Views() []*view.View {
+	out := make([]*view.View, len(c.nodes))
+	for i, n := range c.nodes {
+		if n != nil {
+			out[i] = n.ViewSnapshot()
+		}
+	}
+	return out
+}
+
+// Snapshot returns the current membership graph.
+func (c *Cluster) Snapshot() *graph.Graph {
+	return graph.FromViews(c.Views())
+}
+
+// CheckInvariants validates Observation 5.1 on every node.
+func (c *Cluster) CheckInvariants() error {
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveNode makes node u leave the cluster: its gossip loop stops and it
+// drops off the network, exactly the paper's leave semantics (no protocol
+// action). Its id decays from the other views per Lemma 6.10. Idempotent.
+func (c *Cluster) RemoveNode(u peer.ID) {
+	if int(u) < 0 || int(u) >= len(c.nodes) || c.nodes[u] == nil {
+		return
+	}
+	c.nodes[u].Stop()
+	c.net.Register(u, nil)
+	c.nodes[u] = nil
+}
+
+// AddNode (re)activates node u with the given seed ids (at least
+// max(2, dL), per the paper's join rule) and starts its gossip loop when
+// the cluster is running; callers driving TickRound manually simply include
+// it in subsequent rounds.
+func (c *Cluster) AddNode(u peer.ID, seeds []peer.ID, start bool) error {
+	if int(u) < 0 || int(u) >= len(c.nodes) {
+		return fmt.Errorf("runtime: node id %v outside cluster universe", u)
+	}
+	if c.nodes[u] != nil {
+		return fmt.Errorf("runtime: node %v is already active", u)
+	}
+	node, err := NewNode(NodeConfig{
+		ID:     u,
+		S:      c.cfg.S,
+		DL:     c.cfg.DL,
+		Period: c.cfg.Period,
+		Seed:   c.cfg.Seed + int64(u) + 7919, // distinct stream on rejoin
+	}, seeds, c.net)
+	if err != nil {
+		return err
+	}
+	c.nodes[u] = node
+	c.net.Register(u, node.HandleMessage)
+	if start {
+		node.Start()
+	}
+	return nil
+}

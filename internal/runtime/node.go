@@ -1,0 +1,222 @@
+// Package runtime is the concurrent implementation of S&F: one goroutine
+// per node, periodic action initiation, and fire-and-forget messaging over
+// a transport — the deployment shape Section 5 describes ("each node
+// periodically invoking its InitiateAction method at the same frequency at
+// all nodes").
+//
+// Every protocol decision is made by the same step functions
+// (sendforget.InitiateStep / ReceiveStep) the sequential simulator uses;
+// the runtime adds only concurrency, timers, and transport.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Sender transmits a message toward a node id. Both transport.Network and
+// transport.Endpoint satisfy it.
+type Sender interface {
+	Send(to peer.ID, msg protocol.Message) error
+}
+
+// NodeConfig parameterizes one runtime node.
+type NodeConfig struct {
+	// ID is this node's identity.
+	ID peer.ID
+	// S is the view size (even, >= 6); DL the duplication threshold (even,
+	// 0 <= DL <= S-6).
+	S, DL int
+	// Period is the gossip period between initiated actions (used by
+	// Start; Tick can be driven manually instead). Defaults to 100ms.
+	Period time.Duration
+	// Seed seeds the node's private RNG; 0 derives one from the id.
+	Seed int64
+}
+
+func (c NodeConfig) validate() error {
+	if c.S < 6 || c.S%2 != 0 {
+		return fmt.Errorf("runtime: view size s must be even >= 6, got %d", c.S)
+	}
+	if c.DL < 0 || c.DL > c.S-6 || c.DL%2 != 0 {
+		return fmt.Errorf("runtime: threshold dL must be even in [0, s-6], got %d", c.DL)
+	}
+	return nil
+}
+
+// NodeCounters tallies one node's protocol events.
+type NodeCounters struct {
+	Ticks        int
+	SelfLoops    int
+	Sends        int
+	Duplications int
+	Receives     int
+	Deletions    int
+	SendErrors   int
+}
+
+// Node is a single S&F participant. All state is private and protected by
+// one mutex; the send happens outside the lock so that two nodes gossiping
+// at each other cannot deadlock.
+type Node struct {
+	cfg NodeConfig
+	out Sender
+
+	mu       sync.Mutex
+	lv       *view.View
+	r        *rng.RNG
+	counters NodeCounters
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewNode builds a node whose initial view holds the seed ids ("a joining
+// node has to know at least dL ids of live nodes"). Seeds beyond s are
+// dropped; an odd count is truncated to keep the outdegree even.
+func NewNode(cfg NodeConfig, seeds []peer.ID, out Sender) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("runtime: nil sender")
+	}
+	if cfg.Period == 0 {
+		cfg.Period = 100 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID) + 1
+	}
+	k := len(seeds)
+	if k > cfg.S {
+		k = cfg.S
+	}
+	if k%2 != 0 {
+		k--
+	}
+	if k < cfg.DL || k < 2 {
+		return nil, fmt.Errorf("runtime: node %v needs at least max(2, dL=%d) seeds, got %d usable", cfg.ID, cfg.DL, k)
+	}
+	lv := view.New(cfg.S)
+	for i := 0; i < k; i++ {
+		lv.Set(i, seeds[i])
+	}
+	return &Node{
+		cfg:  cfg,
+		out:  out,
+		lv:   lv,
+		r:    rng.New(cfg.Seed),
+		stop: make(chan struct{}),
+	}, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() peer.ID { return n.cfg.ID }
+
+// Tick initiates one S&F action: the initiate step runs under the node
+// lock, the send outside it.
+func (n *Node) Tick() {
+	n.mu.Lock()
+	n.counters.Ticks++
+	send, _, ok := sendforget.InitiateStep(n.lv, n.cfg.ID, n.cfg.DL, n.r)
+	if !ok {
+		n.counters.SelfLoops++
+		n.mu.Unlock()
+		return
+	}
+	n.counters.Sends++
+	if send.Dup {
+		n.counters.Duplications++
+	}
+	n.mu.Unlock()
+
+	msg := protocol.Message{
+		Kind: protocol.KindGossip,
+		From: n.cfg.ID,
+		IDs:  []peer.ID{send.IDs[0], send.IDs[1]},
+		Dup:  send.Dup,
+	}
+	if err := n.out.Send(send.To, msg); err != nil {
+		n.mu.Lock()
+		n.counters.SendErrors++
+		n.mu.Unlock()
+	}
+}
+
+// HandleMessage is the transport receive handler: the S&F receive step.
+func (n *Node) HandleMessage(msg protocol.Message) {
+	if msg.Kind != protocol.KindGossip || len(msg.IDs) != 2 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.counters.Receives++
+	if _, stored := sendforget.ReceiveStep(n.lv, n.cfg.S, [2]peer.ID{msg.IDs[0], msg.IDs[1]}, n.r); !stored {
+		n.counters.Deletions++
+	}
+}
+
+// Start launches the periodic gossip loop. It is idempotent.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			ticker := time.NewTicker(n.cfg.Period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-n.stop:
+					return
+				case <-ticker.C:
+					n.Tick()
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the gossip loop and waits for it. Leaving the system
+// needs nothing more — per the paper, leavers "simply stop participating in
+// the protocol". Idempotent.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// ViewSnapshot returns a copy of the node's current view.
+func (n *Node) ViewSnapshot() *view.View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lv.Clone()
+}
+
+// Counters returns a copy of the node's counters.
+func (n *Node) Counters() NodeCounters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters
+}
+
+// CheckInvariants verifies Observation 5.1 on the live view.
+func (n *Node) CheckInvariants() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.lv.CheckInvariants(); err != nil {
+		return err
+	}
+	d := n.lv.Outdegree()
+	if d%2 != 0 || d < n.cfg.DL || d > n.cfg.S {
+		return fmt.Errorf("runtime: node %v outdegree %d violates Observation 5.1 (dL=%d, s=%d)", n.cfg.ID, d, n.cfg.DL, n.cfg.S)
+	}
+	return nil
+}

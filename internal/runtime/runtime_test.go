@@ -1,0 +1,363 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/transport"
+)
+
+// recorder is a Sender capturing messages.
+type recorder struct {
+	mu   sync.Mutex
+	msgs []protocol.Message
+	tos  []peer.ID
+	err  error
+}
+
+func (r *recorder) Send(to peer.ID, msg protocol.Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgs = append(r.msgs, msg)
+	r.tos = append(r.tos, to)
+	return r.err
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	rec := &recorder{}
+	seeds := []peer.ID{1, 2}
+	if _, err := NewNode(NodeConfig{ID: 0, S: 7, DL: 0}, seeds, rec); err == nil {
+		t.Error("accepted odd s")
+	}
+	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 4}, seeds, rec); err == nil {
+		t.Error("accepted dL > s-6")
+	}
+	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 0}, seeds, nil); err == nil {
+		t.Error("accepted nil sender")
+	}
+	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 2}, []peer.ID{1}, rec); err == nil {
+		t.Error("accepted too few seeds")
+	}
+	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 2}, seeds, rec); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}
+
+func TestNodeTickSendsAndClears(t *testing.T) {
+	rec := &recorder{}
+	n, err := NewNode(NodeConfig{ID: 5, S: 6, DL: 0}, []peer.ID{1, 2, 3, 4}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && len(rec.msgs) == 0; i++ {
+		n.Tick()
+	}
+	if len(rec.msgs) == 0 {
+		t.Fatal("no message sent in 200 ticks")
+	}
+	msg := rec.msgs[0]
+	if msg.From != 5 || msg.IDs[0] != 5 {
+		t.Errorf("message = %+v, want From/first id = n5", msg)
+	}
+	if msg.Dup {
+		t.Error("dup flagged with dL=0 and degree 4")
+	}
+	if got := n.ViewSnapshot().Outdegree(); got != 2 {
+		t.Errorf("outdegree after send = %d, want 2", got)
+	}
+	c := n.Counters()
+	if c.Sends != 1 || c.Ticks != c.Sends+c.SelfLoops {
+		t.Errorf("counters = %+v", c)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeHandleMessage(t *testing.T) {
+	rec := &recorder{}
+	n, err := NewNode(NodeConfig{ID: 0, S: 6, DL: 0}, []peer.ID{1, 2}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.HandleMessage(protocol.Message{Kind: protocol.KindGossip, From: 3, IDs: []peer.ID{3, 4}})
+	v := n.ViewSnapshot()
+	if !v.Contains(3) || !v.Contains(4) {
+		t.Errorf("view %v missing delivered ids", v)
+	}
+	// Malformed messages are ignored.
+	n.HandleMessage(protocol.Message{Kind: protocol.KindGossip, From: 3, IDs: []peer.ID{3}})
+	n.HandleMessage(protocol.Message{Kind: protocol.KindRequest, From: 3, IDs: []peer.ID{3, 4}})
+	if got := n.ViewSnapshot().Outdegree(); got != 4 {
+		t.Errorf("outdegree after malformed messages = %d, want 4", got)
+	}
+	// Full view: deletion.
+	n.HandleMessage(protocol.Message{Kind: protocol.KindGossip, From: 5, IDs: []peer.ID{5, 1}})
+	n.HandleMessage(protocol.Message{Kind: protocol.KindGossip, From: 6, IDs: []peer.ID{6, 1}})
+	if c := n.Counters(); c.Deletions != 1 {
+		t.Errorf("Deletions = %d, want 1", c.Deletions)
+	}
+}
+
+func TestNodeSendErrorCounted(t *testing.T) {
+	rec := &recorder{err: fmt.Errorf("boom")}
+	n, err := NewNode(NodeConfig{ID: 0, S: 6, DL: 0}, []peer.ID{1, 2, 3, 4}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && n.Counters().SendErrors == 0; i++ {
+		n.Tick()
+	}
+	if n.Counters().SendErrors == 0 {
+		t.Error("send errors not counted")
+	}
+}
+
+func TestNodeStartStopIdempotent(t *testing.T) {
+	rec := &recorder{}
+	n, err := NewNode(NodeConfig{ID: 0, S: 6, DL: 0, Period: time.Millisecond}, []peer.ID{1, 2}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	n.Start()
+	time.Sleep(20 * time.Millisecond)
+	n.Stop()
+	n.Stop()
+	if n.Counters().Ticks == 0 {
+		t.Error("no ticks after Start")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{N: 1, S: 8, DL: 0}); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 4, S: 8, DL: 0, InitDegree: 4}); err == nil {
+		t.Error("accepted init degree >= n")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 10, S: 8, DL: 0, Loss: 1.5}); err == nil {
+		t.Error("accepted loss > 1")
+	}
+}
+
+func TestClusterTickRounds(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 40, S: 12, DL: 4, Loss: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Snapshot().WeaklyConnected() {
+		t.Fatal("bootstrap topology disconnected")
+	}
+	for round := 0; round < 200; round++ {
+		c.TickRound()
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	g := c.Snapshot()
+	if !g.WeaklyConnected() {
+		t.Errorf("cluster disconnected after 200 rounds: %d components", g.ComponentCount())
+	}
+	nc := c.Network().Counters()
+	if nc.Sent == 0 || nc.Lost == 0 || nc.Delivered == 0 {
+		t.Errorf("network counters = %+v", nc)
+	}
+	lossRate := float64(nc.Lost) / float64(nc.Sent)
+	if lossRate < 0.02 || lossRate > 0.09 {
+		t.Errorf("empirical loss rate %v, want ~0.05", lossRate)
+	}
+}
+
+func TestClusterConcurrent(t *testing.T) {
+	// Real goroutines + timers: run briefly, then verify invariants. This
+	// is the race-detector workout for the lock discipline.
+	c, err := NewCluster(ClusterConfig{N: 20, S: 12, DL: 4, Loss: 0.02, Period: time.Millisecond, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(150 * time.Millisecond)
+	c.Stop()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	for _, n := range c.Nodes() {
+		ticks += n.Counters().Ticks
+	}
+	if ticks < 20 {
+		t.Errorf("only %d ticks across the cluster", ticks)
+	}
+}
+
+func TestClusterNodeDeparture(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 30, S: 12, DL: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3 leaves: stops participating and drops off the network.
+	c.Nodes()[3].Stop()
+	c.Network().Register(3, nil)
+	for round := 0; round < 400; round++ {
+		for u, n := range c.Nodes() {
+			if u != 3 {
+				n.Tick()
+			}
+		}
+	}
+	g := c.Snapshot()
+	// The departed id decays from the live views (Lemma 6.10). Its own
+	// view still lists peers but nobody routes to it.
+	live := 0
+	for u := 0; u < 30; u++ {
+		if u == 3 {
+			continue
+		}
+		live += g.Multiplicity(peer.ID(u), 3)
+	}
+	_ = live
+	instances := 0
+	for u, v := range c.Views() {
+		if u == 3 {
+			continue
+		}
+		instances += v.Multiplicity(3)
+	}
+	if instances > 3 {
+		t.Errorf("departed id still has %d instances after 400 rounds", instances)
+	}
+}
+
+func TestNodesOverUDP(t *testing.T) {
+	// End-to-end: 6 S&F nodes on localhost UDP, full mesh directory,
+	// manual ticking (deterministic), real datagrams.
+	const n = 6
+	nodes := make([]*Node, n)
+	eps := make([]*transport.Endpoint, n)
+	for u := 0; u < n; u++ {
+		u := u
+		ep, err := transport.NewEndpoint("127.0.0.1:0", func(m protocol.Message) {
+			nodes[u].HandleMessage(m)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[u] = ep
+	}
+	for u := 0; u < n; u++ {
+		seeds := []peer.ID{peer.ID((u + 1) % n), peer.ID((u + 2) % n)}
+		node, err := NewNode(NodeConfig{ID: peer.ID(u), S: 8, DL: 2}, seeds, eps[u])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[u] = node
+		for v := 0; v < n; v++ {
+			if v != u {
+				if err := eps[u].AddPeer(peer.ID(v), eps[v].Addr().String()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for round := 0; round < 50; round++ {
+		for _, node := range nodes {
+			node.Tick()
+		}
+		time.Sleep(2 * time.Millisecond) // let datagrams land
+	}
+	time.Sleep(50 * time.Millisecond)
+	received := 0
+	for _, node := range nodes {
+		if err := node.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+		received += node.Counters().Receives
+	}
+	if received == 0 {
+		t.Fatal("no UDP gossip was received")
+	}
+}
+
+func TestClusterRemoveAddNode(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 30, S: 12, DL: 4, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RemoveNode(5)
+	c.RemoveNode(5)  // idempotent
+	c.RemoveNode(99) // out of range: no-op
+	if c.Nodes()[5] != nil {
+		t.Fatal("node 5 still present after RemoveNode")
+	}
+	for round := 0; round < 300; round++ {
+		c.TickRound()
+	}
+	// The departed id decays from live views.
+	instances := 0
+	for u, v := range c.Views() {
+		if u == 5 || v == nil {
+			continue
+		}
+		instances += v.Multiplicity(5)
+	}
+	if instances > 2 {
+		t.Errorf("departed id retains %d instances", instances)
+	}
+	// Rejoin with live seeds.
+	if err := c.AddNode(5, []peer.ID{0, 1, 2, 3}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(5, []peer.ID{0, 1}, false); err == nil {
+		t.Error("double AddNode accepted")
+	}
+	if err := c.AddNode(99, []peer.ID{0, 1}, false); err == nil {
+		t.Error("out-of-range AddNode accepted")
+	}
+	for round := 0; round < 100; round++ {
+		c.TickRound()
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The rejoined node reintegrates: others hold its id again.
+	instances = 0
+	for u, v := range c.Views() {
+		if u == 5 || v == nil {
+			continue
+		}
+		instances += v.Multiplicity(5)
+	}
+	if instances == 0 {
+		t.Error("rejoined node acquired no in-neighbors")
+	}
+	g := c.Snapshot()
+	if !g.WeaklyConnected() {
+		t.Errorf("cluster disconnected after churn: %d components", g.ComponentCount())
+	}
+}
+
+func TestClusterAddNodeStarted(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 10, S: 8, DL: 2, Period: time.Millisecond, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.RemoveNode(3)
+	if err := c.AddNode(3, []peer.ID{0, 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	c.Stop()
+	if c.Nodes()[3].Counters().Ticks == 0 {
+		t.Error("restarted node never ticked")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

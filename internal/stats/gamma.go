@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// lgamma returns log|Gamma(x)|, wrapping math.Lgamma and discarding the
+// sign (all call sites use x > 0 where Gamma is positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RegularizedGammaP returns P(a, x) = gamma(a, x)/Gamma(a), the regularized
+// lower incomplete gamma function, computed with the standard series
+// expansion for x < a+1 and the continued fraction for x >= a+1
+// (Numerical Recipes style, implemented from scratch on math only).
+func RegularizedGammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, fmt.Errorf("stats: invalid incomplete gamma arguments a=%v x=%v", a, x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		p, err := gammaPSeries(a, x)
+		return p, err
+	}
+	q, err := gammaQContinuedFraction(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - q, nil
+}
+
+// RegularizedGammaQ returns Q(a, x) = 1 - P(a, x).
+func RegularizedGammaQ(a, x float64) (float64, error) {
+	p, err := RegularizedGammaP(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+const (
+	gammaMaxIter = 500
+	gammaEps     = 3e-14
+)
+
+// gammaPSeries evaluates P(a,x) by its power series.
+func gammaPSeries(a, x float64) (float64, error) {
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lgamma(a)), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: incomplete gamma series did not converge (a=%v x=%v)", a, x)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) by the Lentz continued fraction.
+func gammaQContinuedFraction(a, x float64) (float64, error) {
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			return math.Exp(-x+a*math.Log(x)-lgamma(a)) * h, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: incomplete gamma continued fraction did not converge (a=%v x=%v)", a, x)
+}
+
+// ChiSquareStat returns the chi-square statistic sum (obs-exp)^2/exp over
+// cells with positive expectation. It returns an error if a cell has
+// nonpositive expectation but positive observation, which would make the
+// test meaningless.
+func ChiSquareStat(observed []float64, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: chi-square length mismatch %d != %d", len(observed), len(expected))
+	}
+	stat := 0.0
+	for i := range observed {
+		if expected[i] <= 0 {
+			if observed[i] > 0 {
+				return 0, fmt.Errorf("stats: cell %d has expectation %v with observation %v", i, expected[i], observed[i])
+			}
+			continue
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat, nil
+}
+
+// ChiSquarePValue returns P(X >= stat) for X ~ ChiSquare(df), via the
+// regularized upper incomplete gamma Q(df/2, stat/2).
+func ChiSquarePValue(stat float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: chi-square with df=%d", df)
+	}
+	if stat < 0 {
+		return 0, fmt.Errorf("stats: negative chi-square statistic %v", stat)
+	}
+	return RegularizedGammaQ(float64(df)/2, stat/2)
+}
+
+// ChiSquareUniformTest tests the hypothesis that counts are draws from the
+// uniform distribution over len(counts) cells, returning the statistic and
+// p-value. Lemma 7.6's uniformity experiment uses it.
+func ChiSquareUniformTest(counts []int) (stat, pValue float64, err error) {
+	if len(counts) < 2 {
+		return 0, 0, fmt.Errorf("stats: uniform test needs >= 2 cells, got %d", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("stats: uniform test with no observations")
+	}
+	obs := make([]float64, len(counts))
+	exp := make([]float64, len(counts))
+	e := float64(total) / float64(len(counts))
+	for i, c := range counts {
+		obs[i] = float64(c)
+		exp[i] = e
+	}
+	stat, err = ChiSquareStat(obs, exp)
+	if err != nil {
+		return 0, 0, err
+	}
+	pValue, err = ChiSquarePValue(stat, len(counts)-1)
+	return stat, pValue, err
+}

@@ -1,0 +1,146 @@
+// Package transport carries protocol messages between nodes of the
+// concurrent runtime: an in-memory lossy network for tests and examples,
+// and a UDP transport (cmd/sfnode) demonstrating that S&F needs nothing
+// beyond fire-and-forget datagrams — no acknowledgements, retransmissions,
+// or connection state, exactly the paper's "send & forget" premise.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+)
+
+// Wire format (big endian):
+//
+//	magic   uint16  0x5346 ("SF")
+//	version uint8   1 (bare) or 2 (addressed)
+//	kind    uint8
+//	from    int32
+//	flags   uint8   bit0 = dup
+//	count   uint8   number of ids
+//	ids     int32 x count
+//
+// Version 2 appends, per id, a length-prefixed UTF-8 address string
+// (uint8 length; 0 = unknown). The paper models ids as "IP addresses and
+// ports"; carrying addresses alongside ids lets a deployment's directory
+// self-populate from gossip instead of requiring static configuration.
+const (
+	wireMagic    = 0x5346
+	wireVersion  = 1
+	wireVersion2 = 2
+	headerLen    = 2 + 1 + 1 + 4 + 1 + 1
+	maxWireIDs   = 255
+	maxWireAddr  = 255
+)
+
+// Marshal encodes a protocol message into a datagram payload.
+func Marshal(msg protocol.Message) ([]byte, error) {
+	if len(msg.IDs) > maxWireIDs {
+		return nil, fmt.Errorf("transport: %d ids exceed wire limit %d", len(msg.IDs), maxWireIDs)
+	}
+	buf := make([]byte, headerLen+4*len(msg.IDs))
+	binary.BigEndian.PutUint16(buf[0:2], wireMagic)
+	buf[2] = wireVersion
+	buf[3] = byte(msg.Kind)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(int32(msg.From)))
+	if msg.Dup {
+		buf[8] = 1
+	}
+	buf[9] = byte(len(msg.IDs))
+	for i, id := range msg.IDs {
+		binary.BigEndian.PutUint32(buf[headerLen+4*i:], uint32(int32(id)))
+	}
+	return buf, nil
+}
+
+// MarshalAddressed encodes a version-2 datagram carrying one address string
+// per id (empty = unknown). len(addrs) must equal len(msg.IDs).
+func MarshalAddressed(msg protocol.Message, addrs []string) ([]byte, error) {
+	if len(addrs) != len(msg.IDs) {
+		return nil, fmt.Errorf("transport: %d addresses for %d ids", len(addrs), len(msg.IDs))
+	}
+	buf, err := Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	buf[2] = wireVersion2
+	for _, a := range addrs {
+		if len(a) > maxWireAddr {
+			return nil, fmt.Errorf("transport: address %q exceeds %d bytes", a, maxWireAddr)
+		}
+		buf = append(buf, byte(len(a)))
+		buf = append(buf, a...)
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a datagram payload (either wire version); version-2
+// address payloads are ignored. Use UnmarshalAddressed to retrieve them.
+func Unmarshal(buf []byte) (protocol.Message, error) {
+	msg, _, err := UnmarshalAddressed(buf)
+	return msg, err
+}
+
+// UnmarshalAddressed decodes a datagram payload. For version-1 datagrams
+// addrs is nil; for version 2 it has one entry per id (possibly empty).
+func UnmarshalAddressed(buf []byte) (protocol.Message, []string, error) {
+	if len(buf) < headerLen {
+		return protocol.Message{}, nil, fmt.Errorf("transport: short datagram (%d bytes)", len(buf))
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != wireMagic {
+		return protocol.Message{}, nil, fmt.Errorf("transport: bad magic")
+	}
+	version := buf[2]
+	if version != wireVersion && version != wireVersion2 {
+		return protocol.Message{}, nil, fmt.Errorf("transport: unsupported version %d", version)
+	}
+	if buf[8]&^1 != 0 {
+		// Reject unknown flag bits: the format defines only bit0 (dup),
+		// and accepting extras would break the canonical encoding.
+		return protocol.Message{}, nil, fmt.Errorf("transport: unknown flag bits %#x", buf[8])
+	}
+	count := int(buf[9])
+	idsEnd := headerLen + 4*count
+	if len(buf) < idsEnd {
+		return protocol.Message{}, nil, fmt.Errorf("transport: length %d does not match %d ids", len(buf), count)
+	}
+	if version == wireVersion && len(buf) != idsEnd {
+		return protocol.Message{}, nil, fmt.Errorf("transport: length %d does not match %d ids", len(buf), count)
+	}
+	msg := protocol.Message{
+		Kind: protocol.Kind(buf[3]),
+		From: peer.ID(int32(binary.BigEndian.Uint32(buf[4:8]))),
+		Dup:  buf[8]&1 == 1,
+	}
+	if count > 0 {
+		msg.IDs = make([]peer.ID, count)
+		for i := range msg.IDs {
+			msg.IDs[i] = peer.ID(int32(binary.BigEndian.Uint32(buf[headerLen+4*i:])))
+		}
+	}
+	if version == wireVersion {
+		return msg, nil, nil
+	}
+	// Version 2: parse the address trailer.
+	addrs := make([]string, count)
+	off := idsEnd
+	for i := 0; i < count; i++ {
+		if off >= len(buf) {
+			return protocol.Message{}, nil, fmt.Errorf("transport: truncated address trailer")
+		}
+		alen := int(buf[off])
+		off++
+		if off+alen > len(buf) {
+			return protocol.Message{}, nil, fmt.Errorf("transport: truncated address %d", i)
+		}
+		addrs[i] = string(buf[off : off+alen])
+		off += alen
+	}
+	if off != len(buf) {
+		return protocol.Message{}, nil, fmt.Errorf("transport: %d trailing bytes", len(buf)-off)
+	}
+	return msg, addrs, nil
+}

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"sendforget/internal/loss"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+)
+
+// Handler consumes a delivered message at a node. Handlers run on the
+// sender's goroutine and must not block.
+type Handler func(msg protocol.Message)
+
+// Counters aggregates network-level events.
+type Counters struct {
+	Sent      int
+	Lost      int
+	Delivered int
+	NoRoute   int
+}
+
+// Network is an in-memory lossy datagram network for the concurrent
+// runtime: every Send independently passes the loss model, then the
+// receiver's handler runs synchronously. Safe for concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	lm       loss.Model
+	r        *rng.RNG
+	handlers map[peer.ID]Handler
+	counters Counters
+}
+
+// NewNetwork builds a network with the given loss model and randomness.
+func NewNetwork(lm loss.Model, r *rng.RNG) (*Network, error) {
+	if lm == nil || r == nil {
+		return nil, fmt.Errorf("transport: nil dependency")
+	}
+	return &Network{lm: lm, r: r, handlers: make(map[peer.ID]Handler)}, nil
+}
+
+// Register attaches a node's receive handler. Re-registering replaces the
+// previous handler; a nil handler detaches the node (messages to it are
+// then dropped as unroutable, modeling a failed node).
+func (nw *Network) Register(id peer.ID, h Handler) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if h == nil {
+		delete(nw.handlers, id)
+		return
+	}
+	nw.handlers[id] = h
+}
+
+// Send transmits msg to the node registered as to. The loss decision and
+// handler lookup are serialized; the handler itself runs outside the
+// network lock (it takes the receiving node's own lock). The error is
+// always nil; the signature matches the UDP endpoint so the runtime can
+// treat both uniformly.
+func (nw *Network) Send(to peer.ID, msg protocol.Message) error {
+	nw.mu.Lock()
+	nw.counters.Sent++
+	if nw.lm.Lost(nw.r) {
+		nw.counters.Lost++
+		nw.mu.Unlock()
+		return nil
+	}
+	h, ok := nw.handlers[to]
+	if !ok {
+		nw.counters.NoRoute++
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.counters.Delivered++
+	nw.mu.Unlock()
+	h(msg)
+	return nil
+}
+
+// Counters returns a snapshot of the counters.
+func (nw *Network) Counters() Counters {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.counters
+}

@@ -1,0 +1,409 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sendforget/internal/loss"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+)
+
+func TestCodecRoundtrip(t *testing.T) {
+	tests := []protocol.Message{
+		{Kind: protocol.KindGossip, From: 7, IDs: []peer.ID{7, 42}, Dup: true},
+		{Kind: protocol.KindRequest, From: 0, IDs: []peer.ID{0}},
+		{Kind: protocol.KindReply, From: 1000000, IDs: nil},
+		{Kind: protocol.KindGossip, From: -1, IDs: []peer.ID{peer.Nil}},
+	}
+	for _, msg := range tests {
+		buf, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("Marshal(%+v): %v", msg, err)
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		if got.Kind != msg.Kind || got.From != msg.From || got.Dup != msg.Dup || len(got.IDs) != len(msg.IDs) {
+			t.Fatalf("roundtrip mismatch: %+v != %+v", got, msg)
+		}
+		for i := range msg.IDs {
+			if got.IDs[i] != msg.IDs[i] {
+				t.Fatalf("id %d mismatch: %v != %v", i, got.IDs[i], msg.IDs[i])
+			}
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("short datagram accepted")
+	}
+	msg := protocol.Message{From: 1, IDs: []peer.ID{2, 3}}
+	buf, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, buf...)
+	bad[0] = 0xFF // magic
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte{}, buf...)
+	bad[2] = 9 // version
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := Unmarshal(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	huge := protocol.Message{IDs: make([]peer.ID, 300)}
+	if _, err := Marshal(huge); err == nil {
+		t.Error("oversized id list accepted")
+	}
+}
+
+func TestCodecQuickRoundtrip(t *testing.T) {
+	f := func(kind uint8, from int32, dup bool, rawIDs []int32) bool {
+		if len(rawIDs) > maxWireIDs {
+			rawIDs = rawIDs[:maxWireIDs]
+		}
+		ids := make([]peer.ID, len(rawIDs))
+		for i, v := range rawIDs {
+			ids[i] = peer.ID(v)
+		}
+		msg := protocol.Message{Kind: protocol.Kind(kind), From: peer.ID(from), Dup: dup, IDs: ids}
+		buf, err := Marshal(msg)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		if got.Kind != msg.Kind || got.From != msg.From || got.Dup != msg.Dup || len(got.IDs) != len(msg.IDs) {
+			return false
+		}
+		for i := range msg.IDs {
+			if got.IDs[i] != msg.IDs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	nw, err := NewNetwork(loss.None{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []protocol.Message
+	nw.Register(1, func(m protocol.Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	nw.Send(1, protocol.Message{From: 0, IDs: []peer.ID{0, 2}})
+	nw.Send(2, protocol.Message{From: 0}) // unroutable
+	c := nw.Counters()
+	if c.Sent != 2 || c.Delivered != 1 || c.NoRoute != 1 || c.Lost != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+	if len(got) != 1 || got[0].From != 0 {
+		t.Errorf("delivered = %+v", got)
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	nw, err := NewNetwork(loss.MustUniform(1), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	nw.Register(1, func(protocol.Message) { delivered++ })
+	for i := 0; i < 100; i++ {
+		nw.Send(1, protocol.Message{From: 0})
+	}
+	if delivered != 0 {
+		t.Errorf("delivered %d messages through 100%% loss", delivered)
+	}
+	if c := nw.Counters(); c.Lost != 100 {
+		t.Errorf("Lost = %d, want 100", c.Lost)
+	}
+}
+
+func TestNetworkDeregister(t *testing.T) {
+	nw, err := NewNetwork(loss.None{}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(1, func(protocol.Message) {})
+	nw.Register(1, nil) // departed
+	nw.Send(1, protocol.Message{From: 0})
+	if c := nw.Counters(); c.NoRoute != 1 {
+		t.Errorf("NoRoute = %d, want 1", c.NoRoute)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, rng.New(1)); err == nil {
+		t.Error("accepted nil loss model")
+	}
+	if _, err := NewNetwork(loss.None{}, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestUDPEndpointRoundtrip(t *testing.T) {
+	type rx struct {
+		msg protocol.Message
+	}
+	ch := make(chan rx, 10)
+	a, err := NewEndpoint("127.0.0.1:0", func(m protocol.Message) { ch <- rx{m} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewEndpoint("127.0.0.1:0", func(m protocol.Message) { ch <- rx{m} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.AddPeer(2, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	want := protocol.Message{Kind: protocol.KindGossip, From: 1, IDs: []peer.ID{1, 9}, Dup: true}
+	if err := a.Send(2, want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-ch:
+		if got.msg.From != 1 || len(got.msg.IDs) != 2 || got.msg.IDs[1] != 9 || !got.msg.Dup {
+			t.Errorf("received %+v", got.msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("datagram not received within 2s")
+	}
+	if c := a.Counters(); c.Sent != 1 {
+		t.Errorf("sender counters = %+v", c)
+	}
+	// Unknown destination is a silent drop.
+	if err := a.Send(99, want); err != nil {
+		t.Fatal(err)
+	}
+	if c := a.Counters(); c.NoRoute != 1 {
+		t.Errorf("NoRoute = %d, want 1", c.NoRoute)
+	}
+}
+
+func TestUDPEndpointBadDatagram(t *testing.T) {
+	received := make(chan struct{}, 1)
+	ep, err := NewEndpoint("127.0.0.1:0", func(protocol.Message) { received <- struct{}{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	conn, err := net.Dial("udp", ep.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for ep.DecodeErrors() == 0 {
+		select {
+		case <-received:
+			t.Fatal("garbage datagram dispatched to handler")
+		case <-deadline:
+			t.Fatal("decode error not recorded within 2s")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestUDPEndpointValidation(t *testing.T) {
+	if _, err := NewEndpoint("127.0.0.1:0", nil); err == nil {
+		t.Error("accepted nil handler")
+	}
+	if _, err := NewEndpoint("not-an-addr:xx", func(protocol.Message) {}); err == nil {
+		t.Error("accepted invalid listen address")
+	}
+	ep, err := NewEndpoint("127.0.0.1:0", func(protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.AddPeer(1, "bad:addr:xx"); err == nil {
+		t.Error("accepted invalid peer address")
+	}
+}
+
+func TestUDPEndpointCloseIdempotent(t *testing.T) {
+	ep, err := NewEndpoint("127.0.0.1:0", func(protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestAddressedCodecRoundtrip(t *testing.T) {
+	msg := protocol.Message{Kind: protocol.KindGossip, From: 3, IDs: []peer.ID{3, 9}, Dup: true}
+	addrs := []string{"127.0.0.1:7000", ""}
+	buf, err := MarshalAddressed(msg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotAddrs, err := UnmarshalAddressed(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 3 || len(got.IDs) != 2 || !got.Dup {
+		t.Errorf("message = %+v", got)
+	}
+	if len(gotAddrs) != 2 || gotAddrs[0] != addrs[0] || gotAddrs[1] != "" {
+		t.Errorf("addrs = %v, want %v", gotAddrs, addrs)
+	}
+	// Plain Unmarshal accepts v2 and drops the trailer.
+	plain, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.From != 3 {
+		t.Errorf("plain decode = %+v", plain)
+	}
+}
+
+func TestAddressedCodecErrors(t *testing.T) {
+	msg := protocol.Message{From: 1, IDs: []peer.ID{2}}
+	if _, err := MarshalAddressed(msg, nil); err == nil {
+		t.Error("accepted mismatched address count")
+	}
+	long := make([]byte, 300)
+	if _, err := MarshalAddressed(msg, []string{string(long)}); err == nil {
+		t.Error("accepted oversized address")
+	}
+	buf, err := MarshalAddressed(msg, []string{"127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := UnmarshalAddressed(buf[:len(buf)-2]); err == nil {
+		t.Error("accepted truncated trailer")
+	}
+	if _, _, err := UnmarshalAddressed(append(buf, 0xFF)); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+}
+
+func TestUDPAddressLearning(t *testing.T) {
+	// Three endpoints; C starts knowing only B. A gossips its own id plus
+	// C's id to B with addresses attached; then B gossips [B, A] to C, and
+	// C must learn A's address both ways.
+	received := func() (chan protocol.Message, func(protocol.Message)) {
+		ch := make(chan protocol.Message, 16)
+		return ch, func(m protocol.Message) { ch <- m }
+	}
+	chA, hA := received()
+	a, err := NewEndpoint("127.0.0.1:0", hA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	chB, hB := received()
+	b, err := NewEndpoint("127.0.0.1:0", hB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	chC, hC := received()
+	c, err := NewEndpoint("127.0.0.1:0", hC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = chA
+	for _, setup := range []struct {
+		ep *Endpoint
+		id peer.ID
+	}{{a, 0}, {b, 1}, {c, 2}} {
+		if err := setup.ep.EnableAddressLearning(setup.id, setup.ep.Addr().String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddPeer(1, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer(2, c.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPeer(1, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	// A -> B carrying [A, C]: B learns A (from source) and C (from trailer).
+	if err := a.Send(1, protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("B received nothing")
+	}
+	if b.KnownPeers() < 2 || b.LearnedPeers() < 2 {
+		t.Fatalf("B knows %d peers (learned %d), want >= 2 learned", b.KnownPeers(), b.LearnedPeers())
+	}
+	// B -> C carrying [B, A]: C learns A's address from the trailer.
+	if err := b.Send(2, protocol.Message{Kind: protocol.KindGossip, From: 1, IDs: []peer.ID{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chC:
+	case <-time.After(2 * time.Second):
+		t.Fatal("C received nothing")
+	}
+	// C can now route to A directly.
+	if err := c.Send(0, protocol.Message{Kind: protocol.KindGossip, From: 2, IDs: []peer.ID{2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if nr := c.Counters().NoRoute; nr != 0 {
+		t.Errorf("C had %d unroutable sends after learning", nr)
+	}
+	select {
+	case m := <-chA:
+		if m.From != 2 {
+			t.Errorf("A received %+v, want from n2", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("A never heard from C: address not learned")
+	}
+}
+
+func TestEnableAddressLearningValidation(t *testing.T) {
+	ep, err := NewEndpoint("127.0.0.1:0", func(protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.EnableAddressLearning(0, ""); err == nil {
+		t.Error("accepted empty advertise address")
+	}
+	if err := ep.EnableAddressLearning(0, "not:an:addr:x"); err == nil {
+		t.Error("accepted invalid advertise address")
+	}
+}

@@ -1,0 +1,198 @@
+// Package view implements the local view u.lv[1..s] of Section 2 of the
+// paper: a fixed-size array of node ids in which entries may be empty (the
+// bottom symbol) and duplicates are permitted (they are accounted for later
+// as dependencies).
+//
+// The view exposes exactly the primitive steps the S&F protocol of
+// Figure 5.1 is built from: selecting a uniform random ordered pair of
+// entries, clearing entries, and filling uniformly chosen empty entries.
+// Higher-level invariants (even outdegree, the dL lower bound) belong to the
+// protocol, not the container, and are asserted there.
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/rng"
+)
+
+// View is a local membership view: s slots each holding a node id or
+// peer.Nil. The zero value is unusable; construct with New.
+type View struct {
+	slots []peer.ID
+	out   int // cached count of non-Nil slots (the outdegree d(u))
+}
+
+// New returns an empty view with s slots. It panics if s <= 0.
+func New(s int) *View {
+	if s <= 0 {
+		panic("view: New called with non-positive size")
+	}
+	v := &View{slots: make([]peer.ID, s)}
+	for i := range v.slots {
+		v.slots[i] = peer.Nil
+	}
+	return v
+}
+
+// Size returns the number of slots s (Property M1's view size).
+func (v *View) Size() int { return len(v.slots) }
+
+// Outdegree returns d(u): the number of non-empty entries.
+func (v *View) Outdegree() int { return v.out }
+
+// Full reports whether the view has no empty entries (d(u) = s).
+func (v *View) Full() bool { return v.out == len(v.slots) }
+
+// Slot returns the id stored at index i (peer.Nil if empty).
+func (v *View) Slot(i int) peer.ID { return v.slots[i] }
+
+// Set stores id at index i, overwriting any previous value. Storing peer.Nil
+// is equivalent to Clear.
+func (v *View) Set(i int, id peer.ID) {
+	if v.slots[i] != peer.Nil {
+		v.out--
+	}
+	v.slots[i] = id
+	if id != peer.Nil {
+		v.out++
+	}
+}
+
+// Clear empties slot i. Clearing an already-empty slot is a no-op.
+func (v *View) Clear(i int) { v.Set(i, peer.Nil) }
+
+// RandomPair selects an ordered pair of distinct slot indices uniformly at
+// random — Figure 5.1 line 2. The slots may be empty; the S&F initiate step
+// turns an empty selection into a self-loop transformation.
+func (v *View) RandomPair(r *rng.RNG) (i, j int) {
+	return r.Pair(len(v.slots))
+}
+
+// RandomEmptySlots returns k distinct uniformly chosen empty slot indices —
+// the receive step of Figure 5.1 (lines 3-4) uses k = 2. It returns false if
+// fewer than k slots are empty.
+func (v *View) RandomEmptySlots(r *rng.RNG, k int) ([]int, bool) {
+	empty := v.EmptySlots()
+	if len(empty) < k {
+		return nil, false
+	}
+	pick := r.Choose(len(empty), k)
+	out := make([]int, k)
+	for idx, p := range pick {
+		out[idx] = empty[p]
+	}
+	return out, true
+}
+
+// EmptySlots returns the indices of all empty slots in ascending order.
+func (v *View) EmptySlots() []int {
+	out := make([]int, 0, len(v.slots)-v.out)
+	for i, id := range v.slots {
+		if id == peer.Nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OccupiedSlots returns the indices of all non-empty slots in ascending
+// order.
+func (v *View) OccupiedSlots() []int {
+	out := make([]int, 0, v.out)
+	for i, id := range v.slots {
+		if id != peer.Nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IDs returns the multiset of non-empty entries in slot order. The returned
+// slice is freshly allocated.
+func (v *View) IDs() []peer.ID {
+	out := make([]peer.ID, 0, v.out)
+	for _, id := range v.slots {
+		if id != peer.Nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Contains reports whether id appears in some entry.
+func (v *View) Contains(id peer.ID) bool { return v.Multiplicity(id) > 0 }
+
+// Multiplicity returns the number of entries holding id (views are
+// multisets; duplicates count as dependencies in the analysis).
+func (v *View) Multiplicity(id peer.ID) int {
+	if id == peer.Nil {
+		return 0
+	}
+	m := 0
+	for _, e := range v.slots {
+		if e == id {
+			m++
+		}
+	}
+	return m
+}
+
+// SlotsOf returns the indices of all entries holding id, ascending.
+func (v *View) SlotsOf(id peer.ID) []int {
+	var out []int
+	for i, e := range v.slots {
+		if e == id {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the view.
+func (v *View) Clone() *View {
+	c := &View{slots: make([]peer.ID, len(v.slots)), out: v.out}
+	copy(c.slots, v.slots)
+	return c
+}
+
+// Equal reports whether two views have identical slot contents (including
+// slot positions, not just multisets).
+func (v *View) Equal(o *View) bool {
+	if len(v.slots) != len(o.slots) {
+		return false
+	}
+	for i := range v.slots {
+		if v.slots[i] != o.slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the view compactly, e.g. "[n1 ⊥ n3 n3]".
+func (v *View) String() string {
+	parts := make([]string, len(v.slots))
+	for i, id := range v.slots {
+		parts[i] = id.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// CheckInvariants verifies internal consistency (cached outdegree matches
+// the slot contents). It returns an error rather than panicking so tests can
+// assert on it; protocol code calls it only under test builds.
+func (v *View) CheckInvariants() error {
+	n := 0
+	for _, id := range v.slots {
+		if id != peer.Nil {
+			n++
+		}
+	}
+	if n != v.out {
+		return fmt.Errorf("view: cached outdegree %d != actual %d", v.out, n)
+	}
+	return nil
+}

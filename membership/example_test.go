@@ -1,0 +1,49 @@
+package membership_test
+
+import (
+	"fmt"
+	"log"
+
+	"sendforget/membership"
+)
+
+// ExampleThresholds reproduces the paper's Section 6.3 worked example:
+// a desired expected degree of 30 with a 1% duplication budget.
+func ExampleThresholds() {
+	dl, _, err := membership.Thresholds(30, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dL:", dl)
+	// Output:
+	// dL: 18
+}
+
+// ExampleNewCluster runs a small in-process cluster deterministically and
+// checks the membership properties.
+func ExampleNewCluster() {
+	cluster, err := membership.NewCluster(membership.ClusterConfig{
+		N: 32, S: 12, DL: 4, Loss: 0.02, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Gossip(200) // synchronous rounds; Start/Stop for real timers
+	stats := cluster.Stats()
+	fmt.Println("connected:", stats.WeaklyConnected)
+	fmt.Println("sample non-empty:", len(cluster.Sample(0)) > 0)
+	// Output:
+	// connected: true
+	// sample non-empty: true
+}
+
+// ExampleConnectivityMinDL reproduces the Section 7.4 connectivity floor.
+func ExampleConnectivityMinDL() {
+	dl, err := membership.ConnectivityMinDL(0.01, 0.01, 1e-30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minimal dL:", dl)
+	// Output:
+	// minimal dL: 26
+}

@@ -1,0 +1,214 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThresholdsFacade(t *testing.T) {
+	dl, s, err := Thresholds(30, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl != 18 || s < 40 || s > 44 {
+		t.Errorf("Thresholds(30, 0.01) = (%d, %d)", dl, s)
+	}
+	if _, _, err := Thresholds(31, 0.01); err == nil {
+		t.Error("accepted odd dHat")
+	}
+}
+
+func TestConnectivityMinDLFacade(t *testing.T) {
+	dl, err := ConnectivityMinDL(0.01, 0.01, 1e-30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl != 26 {
+		t.Errorf("ConnectivityMinDL = %d, want 26 (paper example)", dl)
+	}
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 40, S: 12, DL: 4, Loss: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Gossip(150)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if !st.WeaklyConnected || st.Components != 1 {
+		t.Errorf("cluster not connected: %+v", st)
+	}
+	if st.EdgesPerNode < 4 || st.EdgesPerNode > 12 {
+		t.Errorf("EdgesPerNode = %v, want mid-range", st.EdgesPerNode)
+	}
+	if st.MeanOutdegree <= 0 || st.MeanIndegree <= 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	sample := c.Sample(0)
+	if len(sample) == 0 {
+		t.Fatal("empty sample")
+	}
+	for _, id := range sample {
+		if id < 0 || int(id) >= 40 {
+			t.Errorf("sample contains invalid id %v", id)
+		}
+	}
+}
+
+func TestClusterStartStop(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 10, S: 8, DL: 2, GossipPeriod: time.Millisecond, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	time.Sleep(50 * time.Millisecond)
+	c.Stop()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{N: 1, S: 8, DL: 2}); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 10, S: 7, DL: 2}); err == nil {
+		t.Error("accepted odd s")
+	}
+}
+
+func TestUDPNodePair(t *testing.T) {
+	a, err := NewUDPNode(NodeConfig{
+		ID: 0, S: 8, DL: 2,
+		GossipPeriod: 2 * time.Millisecond,
+		ListenAddr:   "127.0.0.1:0",
+		Seeds:        []NodeID{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPNode(NodeConfig{
+		ID: 1, S: 8, DL: 2,
+		GossipPeriod: 2 * time.Millisecond,
+		ListenAddr:   "127.0.0.1:0",
+		Seeds:        []NodeID{0, 0},
+		Peers:        map[NodeID]string{0: a.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// a learns b's address after the fact (bootstrap directories are
+	// static in this test).
+	a2, err := NewUDPNode(NodeConfig{
+		ID: 2, S: 8, DL: 2,
+		GossipPeriod: 2 * time.Millisecond,
+		ListenAddr:   "127.0.0.1:0",
+		Seeds:        []NodeID{0, 1},
+		Peers:        map[NodeID]string{0: a.Addr(), 1: b.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	a2.Start()
+	b.Start()
+	time.Sleep(100 * time.Millisecond)
+	// b should have received gossip (its id was in seeds of a2 and it
+	// gossips toward node 0 whose address it knows).
+	if len(b.Sample())+len(a2.Sample()) == 0 {
+		t.Error("no view content after UDP gossip")
+	}
+}
+
+func TestUDPNodeValidation(t *testing.T) {
+	if _, err := NewUDPNode(NodeConfig{ID: 0, S: 8, DL: 2, Seeds: []NodeID{1, 2}}); err == nil {
+		t.Error("accepted empty listen address")
+	}
+	if _, err := NewUDPNode(NodeConfig{
+		ID: 0, S: 8, DL: 2, ListenAddr: "127.0.0.1:0",
+		Peers: map[NodeID]string{1: "b:ad:addr"},
+		Seeds: []NodeID{1, 2},
+	}); err == nil {
+		t.Error("accepted bad peer address")
+	}
+	if _, err := NewUDPNode(NodeConfig{
+		ID: 0, S: 8, DL: 2, ListenAddr: "127.0.0.1:0", Seeds: []NodeID{1},
+	}); err == nil {
+		t.Error("accepted too few seeds")
+	}
+}
+
+func TestClusterChurnFacade(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 30, S: 12, DL: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(4)
+	c.Gossip(200)
+	seeds := c.Sample(0)
+	if len(seeds) < 2 {
+		t.Fatalf("donor sample too small: %v", seeds)
+	}
+	if err := c.Add(4, seeds); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(4, seeds); err == nil {
+		t.Error("double Add accepted")
+	}
+	c.Gossip(100)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if !st.WeaklyConnected {
+		t.Errorf("cluster fragmented after facade churn: %+v", st)
+	}
+	// Stop the re-added node's loop if Add started it (cluster not
+	// running, but Add(start=true) launched one goroutine).
+	c.Stop()
+}
+
+func TestUDPAddressLearningEndToEnd(t *testing.T) {
+	// a and b know each other statically; c bootstraps knowing only b.
+	// Through gossip c must learn a's address (and vice versa) without any
+	// static entry.
+	mk := func(id NodeID, seeds []NodeID, peers map[NodeID]string) *Node {
+		n, err := NewUDPNode(NodeConfig{
+			ID: id, S: 8, DL: 2,
+			GossipPeriod: 2 * time.Millisecond,
+			ListenAddr:   "127.0.0.1:0",
+			Seeds:        seeds,
+			Peers:        peers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a := mk(0, []NodeID{1, 1}, nil)
+	defer a.Close()
+	b := mk(1, []NodeID{0, 2}, map[NodeID]string{0: a.Addr()})
+	defer b.Close()
+	c := mk(2, []NodeID{1, 1}, map[NodeID]string{1: b.Addr()})
+	defer c.Close()
+	if err := a.ep.AddPeer(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b.Start()
+	c.Start()
+	deadline := time.After(5 * time.Second)
+	for c.KnownPeers() < 2 || a.KnownPeers() < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("directories did not self-populate: a=%d c=%d", a.KnownPeers(), c.KnownPeers())
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
