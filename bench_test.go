@@ -118,15 +118,34 @@ func BenchmarkInitiateStep(b *testing.B) {
 }
 
 // BenchmarkDegreeMCSolveSmall solves a small degree MC to a fixed point.
+// The cache is reset every iteration so the fixed-point computation itself
+// is what gets timed.
 func BenchmarkDegreeMCSolveSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		degreemc.ResetSolveCache()
 		if _, err := degreemc.Solve(degreemc.Params{S: 16, DL: 6, Loss: 0.05}, degreemc.SolveOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkStationary measures power iteration on a mid-size sparse chain.
+// BenchmarkDegreeMCSolveCached measures a cache hit: the steady-state lookup
+// path the experiment runners take when they re-request a solved chain.
+func BenchmarkDegreeMCSolveCached(b *testing.B) {
+	par := degreemc.Params{S: 16, DL: 6, Loss: 0.05}
+	if _, err := degreemc.Solve(par, degreemc.SolveOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := degreemc.Solve(par, degreemc.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStationary measures power iteration on a mid-size sparse chain
+// (the adjacency-list representation the builders produce).
 func BenchmarkStationary(b *testing.B) {
 	sp, err := degreemc.NewSpace(degreemc.Params{S: 40, DL: 18, Loss: 0.05})
 	if err != nil {
@@ -139,6 +158,26 @@ func BenchmarkStationary(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := markov.Stationary(chain, nil, 1e-9, 1000000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStationaryCSR measures the same power iteration on the finalized
+// CSR form the solver now iterates.
+func BenchmarkStationaryCSR(b *testing.B) {
+	sp, err := degreemc.NewSpace(degreemc.Params{S: 40, DL: 18, Loss: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := sp.BuildChain(degreemc.Field{PFull: 0.01, Gap: 25, PDup: 0.06})
+	if err != nil {
+		b.Fatal(err)
+	}
+	csr := chain.Finalize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := markov.Stationary(csr, nil, 1e-9, 1000000); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,34 +5,48 @@
 //	sfexperiments -list
 //	sfexperiments -run fig6.3
 //	sfexperiments -all
+//	sfexperiments -all -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"sendforget/internal/experiments"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// outcome is one experiment's finished result, carried from its worker to
+// the ordered printer.
+type outcome struct {
+	report  *experiments.Report
+	err     error
+	elapsed time.Duration
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sfexperiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	all := fs.Bool("all", false, "run every experiment")
 	ids := fs.String("run", "", "comma-separated experiment ids to run")
 	csvDir := fs.String("csv", "", "also write each result table as CSV into this directory")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 		return 0
 	}
@@ -47,28 +61,59 @@ func run(args []string) int {
 			}
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -all, or -run id[,id...]")
+		fmt.Fprintln(stderr, "nothing to do: pass -list, -all, or -run id[,id...]")
 		return 2
 	}
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(toRun) {
+		workers = len(toRun)
+	}
+
+	// Experiments run on a bounded worker pool; the printer drains the
+	// channels in input order, so stdout is identical for every worker
+	// count. Each experiment is internally deterministic (fixed seeds), so
+	// the concurrency changes only the wall clock. Timing lines go to
+	// stderr: they are scheduler-dependent by nature.
+	done := make([]chan outcome, len(toRun))
+	for i := range done {
+		done[i] = make(chan outcome, 1)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range toRun {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			report, err := experiments.Run(id)
+			done[i] <- outcome{report: report, err: err, elapsed: time.Since(start)}
+		}(i, id)
+	}
+
 	failed := 0
-	for _, id := range toRun {
-		start := time.Now()
-		report, err := experiments.Run(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+	for i, id := range toRun {
+		oc := <-done[i]
+		if oc.err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", id, oc.err)
 			failed++
 			continue
 		}
-		fmt.Println(report)
+		fmt.Fprintln(stdout, oc.report)
 		if *csvDir != "" {
-			if err := report.WriteCSV(*csvDir); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			if err := oc.report.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", id, err)
 				failed++
 				continue
 			}
 		}
-		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(stderr, "(%s completed in %.1fs)\n", id, oc.elapsed.Seconds())
 	}
+	wg.Wait()
 	if failed > 0 {
 		return 1
 	}

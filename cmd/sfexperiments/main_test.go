@@ -1,39 +1,71 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// runQuiet invokes run with throwaway writers; these tests assert exit codes.
+func runQuiet(args []string) int {
+	return run(args, io.Discard, io.Discard)
+}
 
 func TestRunList(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+	if code := runQuiet([]string{"-list"}); code != 0 {
 		t.Errorf("-list exit = %d", code)
 	}
 }
 
 func TestRunSingle(t *testing.T) {
-	if code := run([]string{"-run", "tab7.4"}); code != 0 {
+	if code := runQuiet([]string{"-run", "tab7.4"}); code != 0 {
 		t.Errorf("-run tab7.4 exit = %d", code)
 	}
 }
 
 func TestRunMultiple(t *testing.T) {
-	if code := run([]string{"-run", "tab7.4, fig6.2"}); code != 0 {
+	if code := runQuiet([]string{"-run", "tab7.4, fig6.2"}); code != 0 {
 		t.Errorf("multi-run exit = %d", code)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	if code := run([]string{"-run", "no-such"}); code != 1 {
+	if code := runQuiet([]string{"-run", "no-such"}); code != 1 {
 		t.Errorf("unknown id exit = %d, want 1", code)
 	}
 }
 
 func TestRunNothing(t *testing.T) {
-	if code := run(nil); code != 2 {
+	if code := runQuiet(nil); code != 2 {
 		t.Errorf("no-args exit = %d, want 2", code)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if code := run([]string{"-bogus"}); code != 2 {
+	if code := runQuiet([]string{"-bogus"}); code != 2 {
 		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+// TestRunParallelDeterministicStdout runs the same experiment set with one
+// worker and with several and requires byte-identical stdout: reports stream
+// in input order regardless of which goroutine finishes first (timing lines
+// go to stderr, which is excluded).
+func TestRunParallelDeterministicStdout(t *testing.T) {
+	args := []string{"-run", "fig6.2,tab7.4,lem6.6"}
+	capture := func(parallel string) string {
+		var out bytes.Buffer
+		if code := run(append(args, "-parallel", parallel), &out, io.Discard); code != 0 {
+			t.Fatalf("-parallel %s exit = %d", parallel, code)
+		}
+		return out.String()
+	}
+	seq := capture("1")
+	par := capture("3")
+	if seq != par {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 3:\n--- parallel=1 ---\n%s\n--- parallel=3 ---\n%s", seq, par)
+	}
+	if seq == "" {
+		t.Error("no stdout produced")
 	}
 }

@@ -2,6 +2,7 @@ package degreemc
 
 import (
 	"fmt"
+	"sync"
 
 	"sendforget/internal/markov"
 	"sendforget/internal/stats"
@@ -95,14 +96,86 @@ func (r *Result) StdOut() float64 { return stats.DistStdDev(r.OutDist) }
 // StdIn returns the indegree standard deviation.
 func (r *Result) StdIn() float64 { return stats.DistStdDev(r.InDist) }
 
+// solveKey identifies one fully-normalized solve: Params plus defaulted
+// SolveOptions. Both are flat comparable structs.
+type solveKey struct {
+	par  Params
+	opts SolveOptions
+}
+
+// solveEntry is one memoized solve; once protects the single computation.
+type solveEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+var solveCache struct {
+	mu sync.Mutex
+	m  map[solveKey]*solveEntry
+}
+
+// ResetSolveCache drops all memoized solves. Benchmarks that want to time
+// the fixed-point computation itself call it between iterations.
+func ResetSolveCache() {
+	solveCache.mu.Lock()
+	solveCache.m = nil
+	solveCache.mu.Unlock()
+}
+
 // Solve runs the fixed-point iteration of Section 6.2 and returns the
 // steady-state result.
+//
+// Results are memoized per (Params, SolveOptions): the experiment runners
+// solve identical chains many times (tab6.3 and fig6.1 share the dm=90
+// manifold solve; the ablation grids repeat interior points), and a repeat
+// call returns a copy of the cached fixed point. The cache is safe for
+// concurrent use — parameter sweeps fan solves out across goroutines — and
+// a concurrent duplicate blocks on the first computation instead of
+// re-solving. The returned Result is a private copy; callers may mutate its
+// distribution slices freely. The shared Space is immutable after
+// construction.
 func Solve(par Params, opts SolveOptions) (*Result, error) {
+	if err := par.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(par)
+	if opts.Damping <= 0 || opts.Damping > 1 {
+		return nil, fmt.Errorf("degreemc: damping %v outside (0, 1]", opts.Damping)
+	}
+	key := solveKey{par: par, opts: opts}
+	solveCache.mu.Lock()
+	if solveCache.m == nil {
+		solveCache.m = make(map[solveKey]*solveEntry)
+	}
+	e, ok := solveCache.m[key]
+	if !ok {
+		e = &solveEntry{}
+		solveCache.m[key] = e
+	}
+	solveCache.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = solve(par, opts) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.res.clone(), nil
+}
+
+// clone copies the result's mutable slices; Space is shared (immutable).
+func (r *Result) clone() *Result {
+	c := *r
+	c.Pi = append([]float64(nil), r.Pi...)
+	c.OutDist = append([]float64(nil), r.OutDist...)
+	c.InDist = append([]float64(nil), r.InDist...)
+	return &c
+}
+
+// solve is the uncached fixed-point iteration. opts must be defaulted.
+func solve(par Params, opts SolveOptions) (*Result, error) {
 	sp, err := NewSpace(par)
 	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults(par)
 	init := State{Out: opts.InitOut, In: opts.InitIn}
 	k0, ok := sp.Index(init)
 	if !ok {
@@ -111,8 +184,11 @@ func Solve(par Params, opts SolveOptions) (*Result, error) {
 	rho := make([]float64, sp.Len())
 	rho[k0] = 1
 
-	if opts.Damping <= 0 || opts.Damping > 1 {
-		return nil, fmt.Errorf("degreemc: damping %v outside (0, 1]", opts.Damping)
+	// The sparsity pattern is field-independent: build the CSR chain once
+	// and rewrite its weights each round.
+	tmpl, err := sp.newChainTemplate()
+	if err != nil {
+		return nil, err
 	}
 	var field Field
 	for outer := 1; outer <= opts.OuterMaxIter; outer++ {
@@ -120,11 +196,10 @@ func Solve(par Params, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		chain, err := sp.BuildChain(field)
-		if err != nil {
+		if err := tmpl.rewrite(sp, field); err != nil {
 			return nil, err
 		}
-		stat, _, err := markov.Stationary(chain, rho, opts.InnerTol, opts.InnerMaxIter)
+		stat, _, err := markov.Stationary(tmpl.csr, rho, opts.InnerTol, opts.InnerMaxIter)
 		if err != nil {
 			return nil, fmt.Errorf("degreemc: outer round %d: %w", outer, err)
 		}

@@ -1,0 +1,127 @@
+package degreemc
+
+import (
+	"fmt"
+
+	"sendforget/internal/markov"
+)
+
+// chainTemplate is the reusable CSR form of the degree MC. The sparsity
+// pattern of the chain does not depend on the mean-field values — only the
+// edge weights do — so the fixed-point iteration builds the structure once
+// and rewrites the weights in place every outer round, instead of
+// re-running the adjacency-list construction, dedup, and uniformization
+// allocation each time.
+type chainTemplate struct {
+	csr *markov.CSR
+	// self[k] is the slot index (within row k) of the self-loop entry that
+	// absorbs the uniformization remainder.
+	self []int
+	// totals is scratch for per-row rate sums between the two rewrite passes.
+	totals []float64
+}
+
+// templateProbe is a mean-field point with every probability strictly inside
+// (0, 1), so that every structurally possible transition has a positive rate
+// and appears in the union pattern. Real fields can only zero a subset of
+// these rates (they share the Params, hence the loss rate), never add edges.
+var templateProbe = Field{PFull: 0.5, Gap: 1, PDup: 0.5}
+
+// newChainTemplate enumerates the union transition pattern of sp (plus a
+// reserved self-loop per row) and finalizes it into CSR form.
+func (sp *Space) newChainTemplate() (*chainTemplate, error) {
+	n := sp.Len()
+	s := markov.NewSparse(n)
+	for k, st := range sp.states {
+		sp.transitions(st, templateProbe, func(to State, rate float64, _ Kind) {
+			if idx, ok := sp.index[to]; ok {
+				s.Add(k, idx, rate)
+			}
+		})
+		s.Add(k, k, 1) // reserve the self-loop slot
+	}
+	t := &chainTemplate{
+		csr:    s.Finalize(),
+		self:   make([]int, n),
+		totals: make([]float64, n),
+	}
+	for k := 0; k < n; k++ {
+		cols, _ := t.csr.Row(k)
+		t.self[k] = -1
+		for slot, c := range cols {
+			if int(c) == k {
+				t.self[k] = slot
+				break
+			}
+		}
+		if t.self[k] < 0 {
+			return nil, fmt.Errorf("degreemc: row %d lost its self-loop slot", k)
+		}
+	}
+	return t, nil
+}
+
+// rewrite recomputes the uniformized transition probabilities for field f
+// into the template's weight slots. It mirrors BuildChain: raw rates are
+// accumulated per edge, the uniformization constant is the maximum row total
+// times the headroom, and each row's missing mass becomes its self-loop.
+func (t *chainTemplate) rewrite(sp *Space, f Field) error {
+	maxRow := 0.0
+	var missing bool
+	for k, st := range sp.states {
+		cols, probs := t.csr.Row(k)
+		for i := range probs {
+			probs[i] = 0
+		}
+		total := 0.0
+		sp.transitions(st, f, func(to State, rate float64, _ Kind) {
+			idx, ok := sp.index[to]
+			if !ok {
+				return
+			}
+			slot := findCol(cols, int32(idx))
+			if slot < 0 {
+				missing = true
+				return
+			}
+			probs[slot] += rate
+			total += rate
+		})
+		t.totals[k] = total
+		if total > maxRow {
+			maxRow = total
+		}
+	}
+	if missing {
+		return fmt.Errorf("degreemc: field emitted a transition outside the template pattern")
+	}
+	if maxRow == 0 {
+		return fmt.Errorf("degreemc: chain has no transitions")
+	}
+	w := maxRow * uniformizationHeadroom
+	for k := range t.totals {
+		_, probs := t.csr.Row(k)
+		for i := range probs {
+			probs[i] /= w
+		}
+		probs[t.self[k]] += 1 - t.totals[k]/w
+	}
+	return nil
+}
+
+// findCol locates col in a sorted row by binary search.
+func findCol(cols []int32, col int32) int {
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cols[mid] < col {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && cols[lo] == col {
+		return lo
+	}
+	return -1
+}

@@ -1,0 +1,155 @@
+package degreemc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sendforget/internal/markov"
+)
+
+// TestTemplateRewriteMatchesBuildChain checks that rewriting the CSR template
+// for a field produces the same stochastic chain BuildChain constructs from
+// scratch, including on the lossless manifold where many rates vanish.
+func TestTemplateRewriteMatchesBuildChain(t *testing.T) {
+	for _, par := range []Params{
+		{S: 12, DL: 6, Loss: 0},
+		{S: 12, DL: 6, Loss: 0.15},
+		{S: 14, DL: 4, Loss: 0.4},
+	} {
+		sp, err := NewSpace(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmpl, err := sp.newChainTemplate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []Field{
+			{PFull: 0.3, Gap: 2.5, PDup: 0.1},
+			{PFull: 0, Gap: 4, PDup: 0},
+			{PFull: 1, Gap: 0.5, PDup: 0.9},
+		} {
+			chain, err := sp.BuildChain(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tmpl.rewrite(sp, f); err != nil {
+				t.Fatal(err)
+			}
+			if err := markov.Validate(tmpl.csr); err != nil {
+				t.Fatalf("par %+v field %+v: rewritten template invalid: %v", par, f, err)
+			}
+			for k := 0; k < sp.Len(); k++ {
+				want := map[int]float64{}
+				chain.ForEach(k, func(col int, p float64) { want[col] += p })
+				got := map[int]float64{}
+				tmpl.csr.ForEach(k, func(col int, p float64) { got[col] += p })
+				for col, p := range want {
+					q := got[col]
+					if diff := p - q; diff > 1e-12 || diff < -1e-12 {
+						t.Fatalf("par %+v field %+v row %d col %d: template %v chain %v", par, f, k, col, q, p)
+					}
+					delete(got, col)
+				}
+				for col, q := range got {
+					if q > 1e-12 {
+						t.Fatalf("par %+v field %+v row %d: template has extra mass %v at col %d", par, f, k, q, col)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveCacheDeterministic checks that repeated Solve calls return
+// bitwise-identical results and that mutating a returned Result cannot
+// corrupt the cache.
+func TestSolveCacheDeterministic(t *testing.T) {
+	ResetSolveCache()
+	par := Params{S: 14, DL: 6, Loss: 0.1}
+	r1, err := Solve(par, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(par, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Pi) != len(r2.Pi) {
+		t.Fatalf("Pi lengths differ: %d vs %d", len(r1.Pi), len(r2.Pi))
+	}
+	for k := range r1.Pi {
+		if r1.Pi[k] != r2.Pi[k] {
+			t.Fatalf("cached Pi differs at %d: %x vs %x", k, r1.Pi[k], r2.Pi[k])
+		}
+	}
+	if r1.Field != r2.Field || r1.OuterIterations != r2.OuterIterations {
+		t.Fatalf("cached metadata differs: %+v vs %+v", r1, r2)
+	}
+	// Clobber the first result; a fresh call must be unaffected.
+	for k := range r1.Pi {
+		r1.Pi[k] = -1
+	}
+	r1.OutDist[0] = 99
+	r1.InDist[0] = 99
+	r3, err := Solve(par, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range r2.Pi {
+		if r2.Pi[k] != r3.Pi[k] {
+			t.Fatalf("cache corrupted by caller mutation at %d", k)
+		}
+	}
+	if r3.OutDist[0] == 99 || r3.InDist[0] == 99 {
+		t.Fatal("cache shares marginal slices with callers")
+	}
+}
+
+// TestSolveConcurrent exercises the cache under concurrent access: identical
+// and distinct keys solved from many goroutines must all agree with a
+// sequential reference. Run with -race to check the synchronization.
+func TestSolveConcurrent(t *testing.T) {
+	ResetSolveCache()
+	pars := []Params{
+		{S: 12, DL: 6, Loss: 0},
+		{S: 12, DL: 6, Loss: 0.1},
+		{S: 14, DL: 4, Loss: 0.2},
+	}
+	want := make([]*Result, len(pars))
+	for i, par := range pars {
+		r, err := Solve(par, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	ResetSolveCache()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for g := 0; g < 8; g++ {
+		for i, par := range pars {
+			wg.Add(1)
+			go func(i int, par Params) {
+				defer wg.Done()
+				r, err := Solve(par, SolveOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for k := range r.Pi {
+					if r.Pi[k] != want[i].Pi[k] {
+						errs <- fmt.Errorf("concurrent Solve(%+v) diverged from sequential reference at state %d", par, k)
+						return
+					}
+				}
+			}(i, par)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -64,7 +64,8 @@ func AblationOpt(p AblationOptParams) (*Report, error) {
 		"variant", "edges/node", "mean out", "indeg var", "components",
 		"ids moved/send", "dup", "undel", "del", "repl",
 	}}
-	for i, v := range variants {
+	rows, err := Sweep(len(variants), sweepWorkers, func(i int) ([]string, error) {
+		v := variants[i]
 		proto, err := sfopt.New(v.opts)
 		if err != nil {
 			return nil, err
@@ -84,12 +85,18 @@ func AblationOpt(p AblationOptParams) (*Report, error) {
 		if c.Sends > 0 {
 			perSend = float64(c.Stored+c.Replaced) / float64(c.Sends)
 		}
-		t.AddRow(v.name,
-			f2(float64(g.NumEdges())/float64(p.N)),
+		return []string{v.name,
+			f2(float64(g.NumEdges()) / float64(p.N)),
 			f2(deg.MeanOut), f2(deg.VarIn), d(g.ComponentCount()),
 			f2(perSend),
 			d(c.Duplications), d(c.Undeletions), d(c.Deleted), d(c.Replaced),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	r.Tables = append(r.Tables, t)
 	r.Notes = append(r.Notes,

@@ -174,42 +174,60 @@ func AblationBurst(p AblationBurstParams) (*Report, error) {
 		Params: fmt.Sprintf("n=%d s=%d dL=%d rate=%g rounds=%d", p.N, p.S, p.DL, p.Rate, p.Rounds),
 	}
 	t := Table{Columns: []string{"loss model", "measured loss", "edges/node", "mean out", "indegree var", "components", "alpha"}}
-	run := func(name string, lm loss.Model, seed int64) error {
-		proto, err := sendforget.New(sendforget.Config{N: p.N, S: p.S, DL: p.DL, TrackDependence: true})
-		if err != nil {
-			return err
-		}
-		e, err := engine.New(proto, lm, rng.New(seed))
-		if err != nil {
-			return err
-		}
-		e.Run(p.Rounds)
-		g := e.Snapshot()
-		deg := metrics.Degrees(g, nil)
-		t.AddRow(name,
-			f4(e.Counters().LossRate()),
-			f2(float64(g.NumEdges())/float64(p.N)),
-			f2(deg.MeanOut),
-			f2(deg.VarIn),
-			d(g.ComponentCount()),
-			f4(proto.DependenceStats().Alpha()),
-		)
-		return nil
+	// The uniform reference plus one bursty variant per burst length, each a
+	// self-contained run with the seed the historical sequential loop used.
+	type burstVariant struct {
+		name  string
+		model func() (loss.Model, error)
+		seed  int64
 	}
-	if err := run("uniform", loss.MustUniform(p.Rate), p.Seed); err != nil {
-		return nil, err
-	}
+	variants := []burstVariant{{
+		name:  "uniform",
+		model: func() (loss.Model, error) { return loss.MustUniform(p.Rate), nil },
+		seed:  p.Seed,
+	}}
 	for i, bl := range p.BurstLens {
 		if bl <= 1 {
 			continue
 		}
-		ge, err := loss.BurstyWithRate(p.Rate, bl)
+		bl := bl
+		variants = append(variants, burstVariant{
+			name:  fmt.Sprintf("bursty(len=%g)", bl),
+			model: func() (loss.Model, error) { return loss.BurstyWithRate(p.Rate, bl) },
+			seed:  p.Seed + int64(i) + 1,
+		})
+	}
+	rows, err := Sweep(len(variants), sweepWorkers, func(k int) ([]string, error) {
+		v := variants[k]
+		lm, err := v.model()
 		if err != nil {
 			return nil, err
 		}
-		if err := run(fmt.Sprintf("bursty(len=%g)", bl), ge, p.Seed+int64(i)+1); err != nil {
+		proto, err := sendforget.New(sendforget.Config{N: p.N, S: p.S, DL: p.DL, TrackDependence: true})
+		if err != nil {
 			return nil, err
 		}
+		e, err := engine.New(proto, lm, rng.New(v.seed))
+		if err != nil {
+			return nil, err
+		}
+		e.Run(p.Rounds)
+		g := e.Snapshot()
+		deg := metrics.Degrees(g, nil)
+		return []string{v.name,
+			f4(e.Counters().LossRate()),
+			f2(float64(g.NumEdges()) / float64(p.N)),
+			f2(deg.MeanOut),
+			f2(deg.VarIn),
+			d(g.ComponentCount()),
+			f4(proto.DependenceStats().Alpha()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	r.Tables = append(r.Tables, t)
 	r.Notes = append(r.Notes,
@@ -259,10 +277,18 @@ func AblationDL(p AblationDLParams) (*Report, error) {
 		Params: fmt.Sprintf("n=%d s=%d l=%g rounds=%d", p.N, p.S, p.Loss, p.Rounds),
 	}
 	t := Table{Columns: []string{"dL", "edges/node", "mean out", "mean in", "alpha", "components", "dup prob"}}
+	// Filter first but keep the original index of each surviving point: its
+	// seed is p.Seed+index, and preserving that keeps the report identical to
+	// the historical sequential loop.
+	type dlPoint struct{ i, dl int }
+	var pts []dlPoint
 	for i, dl := range p.DLs {
-		if dl > p.S-6 {
-			continue
+		if dl <= p.S-6 {
+			pts = append(pts, dlPoint{i: i, dl: dl})
 		}
+	}
+	rows, err := Sweep(len(pts), sweepWorkers, func(k int) ([]string, error) {
+		i, dl := pts[k].i, pts[k].dl
 		initDeg := p.S / 2
 		if initDeg < dl {
 			initDeg = dl
@@ -285,13 +311,19 @@ func AblationDL(p AblationDLParams) (*Report, error) {
 		if c.Sends > 0 {
 			dup = float64(c.Duplications) / float64(c.Sends)
 		}
-		t.AddRow(d(dl),
-			f2(float64(g.NumEdges())/float64(p.N)),
+		return []string{d(dl),
+			f2(float64(g.NumEdges()) / float64(p.N)),
 			f2(deg.MeanOut), f2(deg.MeanIn),
 			f4(proto.DependenceStats().Alpha()),
 			d(g.ComponentCount()),
 			f4(dup),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	r.Tables = append(r.Tables, t)
 	r.Notes = append(r.Notes,

@@ -94,7 +94,14 @@ func Fig61(p Fig61Params) (*Report, error) {
 		Columns: []string{"degree", "binomial", "analytical", "markov"},
 	}
 	maxIn := len(res.InDist) - 1
-	for deg := 0; deg <= maxIn && deg <= dm; deg += p.Stride / 2 {
+	// Indegrees concentrate, so sample twice as densely as the outdegree
+	// table — but never with a zero step (Stride 1 would otherwise loop
+	// forever).
+	inStride := p.Stride / 2
+	if inStride < 1 {
+		inStride = 1
+	}
+	for deg := 0; deg <= maxIn && deg <= dm; deg += inStride {
 		bi := 0.0
 		if deg < len(binIn) {
 			bi = binIn[deg]
@@ -336,30 +343,45 @@ func Fig63(p Fig63Params) (*Report, error) {
 	}
 	inCurves := Table{Title: "Indegree distribution", Columns: []string{"degree"}}
 	outCurves := Table{Title: "Outdegree distribution", Columns: []string{"degree"}}
-	var results []*degreemc.Result
-	for li, l := range p.LossRates {
+	// Each loss rate is an independent solve + simulation: fan them out to
+	// the worker pool, seeding each simulation from its input index so the
+	// assembled report is identical to the sequential one.
+	type lossPoint struct {
+		res           *degreemc.Result
+		simIn, simOut string
+	}
+	points, err := Sweep(len(p.LossRates), sweepWorkers, func(li int) (lossPoint, error) {
+		l := p.LossRates[li]
 		res, err := degreemc.Solve(degreemc.Params{S: p.S, DL: p.DL, Loss: l}, degreemc.SolveOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("loss %v: %w", l, err)
+			return lossPoint{}, fmt.Errorf("loss %v: %w", l, err)
 		}
-		results = append(results, res)
-		simIn, simOut := "-", "-"
+		pt := lossPoint{res: res, simIn: "-", simOut: "-"}
 		if p.SimN > 0 {
 			e, _, err := newSFEngine(p.SimN, p.S, p.DL, 0, l, 0, p.Seed+int64(li), false)
 			if err != nil {
-				return nil, err
+				return lossPoint{}, err
 			}
 			e.Run(p.SimRounds)
 			deg := metrics.Degrees(e.Snapshot(), nil)
-			simIn = pm(deg.MeanIn, mathSqrt(deg.VarIn))
-			simOut = pm(deg.MeanOut, mathSqrt(deg.VarOut))
+			pt.simIn = pm(deg.MeanIn, mathSqrt(deg.VarIn))
+			pt.simOut = pm(deg.MeanOut, mathSqrt(deg.VarOut))
 		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var results []*degreemc.Result
+	for li, pt := range points {
+		l := p.LossRates[li]
+		results = append(results, pt.res)
 		moments.AddRow(
 			fmt.Sprintf("%.2f", l),
-			pm(res.MeanIn(), res.StdIn()),
-			pm(res.MeanOut(), res.StdOut()),
-			simIn, simOut,
-			f4(res.DupProb), f4(res.DelProb), f4(l+res.DelProb),
+			pm(pt.res.MeanIn(), pt.res.StdIn()),
+			pm(pt.res.MeanOut(), pt.res.StdOut()),
+			pt.simIn, pt.simOut,
+			f4(pt.res.DupProb), f4(pt.res.DelProb), f4(l+pt.res.DelProb),
 		)
 		inCurves.Columns = append(inCurves.Columns, fmt.Sprintf("l=%.2f", l))
 		outCurves.Columns = append(outCurves.Columns, fmt.Sprintf("l=%.2f", l))

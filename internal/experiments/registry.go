@@ -3,15 +3,28 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Runner executes one experiment with its default parameters.
 type Runner func() (*Report, error)
 
+var registry struct {
+	once sync.Once
+	m    map[string]Runner
+	ids  []string
+}
+
 // Registry maps experiment ids (as listed in DESIGN.md) to default-parameter
-// runners. cmd/sfexperiments iterates it.
+// runners. cmd/sfexperiments iterates it. The map is built once and shared;
+// callers must not mutate it.
 func Registry() map[string]Runner {
-	return map[string]Runner{
+	registry.once.Do(buildRegistry)
+	return registry.m
+}
+
+func buildRegistry() {
+	registry.m = map[string]Runner{
 		"fig6.1":  func() (*Report, error) { return Fig61(Fig61Params{}) },
 		"fig6.2":  func() (*Report, error) { return Fig62(Fig62Params{}) },
 		"tab6.3":  func() (*Report, error) { return Tab63(Tab63Params{}) },
@@ -33,17 +46,18 @@ func Registry() map[string]Runner {
 		"abl3":    func() (*Report, error) { return AblationOpt(AblationOptParams{}) },
 		"abl4":    func() (*Report, error) { return AblationNonuniform(AblationNonuniformParams{}) },
 	}
+	registry.ids = make([]string, 0, len(registry.m))
+	for id := range registry.m {
+		registry.ids = append(registry.ids, id)
+	}
+	sort.Strings(registry.ids)
 }
 
-// IDs returns the registered experiment ids in sorted order.
+// IDs returns the registered experiment ids in sorted order. The slice is a
+// copy; callers may reorder it.
 func IDs() []string {
-	reg := Registry()
-	ids := make([]string, 0, len(reg))
-	for id := range reg {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
+	registry.once.Do(buildRegistry)
+	return append([]string(nil), registry.ids...)
 }
 
 // Run executes the experiment with the given id.

@@ -8,6 +8,7 @@ package markov
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Chain is a row-stochastic transition structure over states 0..N()-1.
@@ -53,7 +54,8 @@ func (d *Dense) ForEach(row int, fn func(col int, p float64)) {
 
 // Sparse stores per-row adjacency lists of positive transitions.
 type Sparse struct {
-	rows [][]entry
+	rows  [][]entry
+	dirty bool
 }
 
 type entry struct {
@@ -71,7 +73,12 @@ func (s *Sparse) N() int { return len(s.rows) }
 
 // Add accumulates probability p onto transition (i -> j). Multiple Adds to
 // the same pair sum, which lets builders enumerate disjoint events
-// independently.
+// independently. Add is O(1): duplicates are appended and merged later by
+// Compact (called automatically by CloseRows and Finalize), so building a
+// row of L entries costs O(L log L) total rather than the O(L^2) of a
+// per-Add duplicate scan. Until then, ForEach may report the same column in
+// several pieces; every numeric consumer in this package (Step, RowSum,
+// Validate) accumulates and is unaffected.
 func (s *Sparse) Add(i, j int, p float64) {
 	if p == 0 {
 		return
@@ -79,16 +86,62 @@ func (s *Sparse) Add(i, j int, p float64) {
 	if p < 0 || math.IsNaN(p) {
 		panic(fmt.Sprintf("markov: invalid transition probability %v", p))
 	}
-	for k := range s.rows[i] {
-		if s.rows[i][k].col == j {
-			s.rows[i][k].p += p
-			return
-		}
+	if j < 0 || j >= len(s.rows) {
+		panic(fmt.Sprintf("markov: column %d outside chain of %d states", j, len(s.rows)))
 	}
 	s.rows[i] = append(s.rows[i], entry{col: j, p: p})
+	s.dirty = true
 }
 
-// ForEach implements Chain.
+// Compact sorts every row by column and merges duplicate entries, restoring
+// the one-entry-per-pair invariant after a sequence of Adds. It is
+// idempotent and cheap when nothing was added since the last call. Rows are
+// merged through a dense column accumulator, so a row built from L Adds over
+// D distinct columns costs O(L + D log D) rather than the O(L^2) of the old
+// per-Add duplicate scan.
+func (s *Sparse) Compact() {
+	if !s.dirty {
+		return
+	}
+	var acc []float64
+	var touched []int
+	for i, row := range s.rows {
+		if len(row) < 2 {
+			continue
+		}
+		sorted := true
+		for k := 1; k < len(row); k++ {
+			if row[k].col <= row[k-1].col {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			continue
+		}
+		if acc == nil {
+			acc = make([]float64, len(s.rows))
+		}
+		touched = touched[:0]
+		for _, e := range row {
+			if acc[e.col] == 0 {
+				touched = append(touched, e.col)
+			}
+			acc[e.col] += e.p
+		}
+		slices.Sort(touched)
+		row = row[:0]
+		for _, c := range touched {
+			row = append(row, entry{col: c, p: acc[c]})
+			acc[c] = 0
+		}
+		s.rows[i] = row
+	}
+	s.dirty = false
+}
+
+// ForEach implements Chain. Before Compact/CloseRows/Finalize, a column that
+// received several Adds is reported once per Add.
 func (s *Sparse) ForEach(row int, fn func(col int, p float64)) {
 	for _, e := range s.rows[row] {
 		if e.p > 0 {
@@ -113,6 +166,7 @@ func (s *Sparse) RowSum(i int) float64 {
 // already exceeds probability 1 beyond tolerance.
 func (s *Sparse) CloseRows() error {
 	const tol = 1e-9
+	s.Compact()
 	for i := range s.rows {
 		sum := s.RowSum(i)
 		if sum > 1+tol {
@@ -122,6 +176,7 @@ func (s *Sparse) CloseRows() error {
 			s.Add(i, i, rem)
 		}
 	}
+	s.Compact()
 	return nil
 }
 
@@ -147,8 +202,19 @@ func Validate(c Chain) error {
 // Step advances a distribution one transition: out = dist * P.
 func Step(c Chain, dist []float64) []float64 {
 	out := make([]float64, c.N())
-	stepInto(c, dist, out)
+	newStepper(c)(dist, out)
 	return out
+}
+
+// newStepper returns a reusable out = dist * P kernel for c. CSR chains get
+// the chunked (and, above a size threshold, parallel) kernel with its scratch
+// buffers allocated once; everything else falls back to stepInto.
+func newStepper(c Chain) func(dist, out []float64) {
+	if m, ok := c.(*CSR); ok {
+		sc := &csrScratch{}
+		return func(dist, out []float64) { m.step(dist, out, sc) }
+	}
+	return func(dist, out []float64) { stepInto(c, dist, out) }
 }
 
 // stepInto computes out = dist * P into a caller-provided buffer, zeroing
@@ -170,6 +236,8 @@ func stepInto(c Chain, dist, out []float64) {
 				out[e.col] += p * e.p
 			}
 		}
+	case *CSR:
+		cc.accumPlain(dist, out)
 	case *Dense:
 		for i, p := range dist {
 			if p == 0 {
@@ -197,6 +265,10 @@ func stepInto(c Chain, dist, out []float64) {
 // init (uniform if nil), stopping when successive distributions are within
 // tol in total variation. It returns the distribution and the number of
 // iterations used, or an error if maxIter is exhausted.
+//
+// CSR chains above the parallel size threshold shard each step's rows
+// across a worker pool; the per-chunk partial sums are merged in a fixed
+// order, so the result is bit-identical to a single-worker run.
 func Stationary(c Chain, init []float64, tol float64, maxIter int) ([]float64, int, error) {
 	n := c.N()
 	if n == 0 {
@@ -214,8 +286,9 @@ func Stationary(c Chain, init []float64, tol float64, maxIter int) ([]float64, i
 		copy(dist, init)
 	}
 	next := make([]float64, n)
+	step := newStepper(c)
 	for iter := 1; iter <= maxIter; iter++ {
-		stepInto(c, dist, next)
+		step(dist, next)
 		if TV(dist, next) < tol {
 			return next, iter, nil
 		}

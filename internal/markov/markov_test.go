@@ -100,17 +100,23 @@ func TestSparseAddAccumulates(t *testing.T) {
 	if err := Validate(s); err != nil {
 		t.Fatal(err)
 	}
+	if !almostEqual(s.RowSum(0), 1, 1e-12) {
+		t.Errorf("RowSum(0) = %v", s.RowSum(0))
+	}
+	s.Compact()
 	got := 0.0
+	entries := 0
 	s.ForEach(0, func(col int, p float64) {
+		entries++
 		if col == 1 {
 			got = p
 		}
 	})
+	if entries != 2 {
+		t.Errorf("compacted row 0 has %d entries, want 2", entries)
+	}
 	if !almostEqual(got, 0.5, 1e-12) {
 		t.Errorf("accumulated P(0->1) = %v, want 0.5", got)
-	}
-	if !almostEqual(s.RowSum(0), 1, 1e-12) {
-		t.Errorf("RowSum(0) = %v", s.RowSum(0))
 	}
 }
 

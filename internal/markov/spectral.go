@@ -35,9 +35,10 @@ func SpectralGap(c Chain, pi []float64, tol float64, maxIter int) (lambda2 float
 	}
 	scale(v, 1/norm1(v))
 	next := make([]float64, n)
+	step := newStepper(c)
 	prev := 0.0
 	for iter := 0; iter < maxIter; iter++ {
-		stepInto(c, v, next)
+		step(v, next)
 		deflate(next, pi)
 		lambda := norm1(next)
 		if lambda == 0 {
