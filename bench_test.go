@@ -208,11 +208,16 @@ func BenchmarkRNGPair(b *testing.B) {
 	}
 }
 
+// sfCoreFactory builds S&F step cores for the runtime benchmarks.
+func sfCoreFactory(s, dl int) protocol.CoreFactory {
+	return func() (protocol.StepCore, error) { return sendforget.NewCore(s, dl) }
+}
+
 // BenchmarkRuntimeTick measures one concurrent-node gossip action over the
 // in-memory lossy network (lock acquisition + step + transport).
 func BenchmarkRuntimeTick(b *testing.B) {
 	cluster, err := runtime.NewCluster(runtime.ClusterConfig{
-		N: 64, S: 16, DL: 6, Loss: 0.02, Seed: 9,
+		N: 64, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 9,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -221,6 +226,22 @@ func BenchmarkRuntimeTick(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nodes[i%len(nodes)].Tick()
+	}
+}
+
+// BenchmarkClusterTick measures one full synchronous round of a 500-node
+// in-memory cluster (500 initiate steps plus all triggered receive steps,
+// loss decisions, and handler dispatches).
+func BenchmarkClusterTick(b *testing.B) {
+	cluster, err := runtime.NewCluster(runtime.ClusterConfig{
+		N: 500, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.TickRound()
 	}
 }
 

@@ -1,7 +1,10 @@
-// Command sfnode runs a single real S&F node over UDP — the protocol needs
-// nothing but fire-and-forget datagrams, the paper's practicality claim.
+// Command sfnode runs a single real gossip membership node over UDP — the
+// protocols need nothing but fire-and-forget datagrams (plus, for the
+// request/reply baselines, fire-and-forget replies), the paper's
+// practicality claim. The -protocol flag selects the same protocol set the
+// sfsim simulator offers; all of them run on the same runtime node.
 //
-// Start a small cluster on localhost:
+// Start a small S&F cluster on localhost:
 //
 //	sfnode -id 0 -listen 127.0.0.1:7000 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002 -seeds 1,2
 //	sfnode -id 1 -listen 127.0.0.1:7001 -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 -seeds 0,2
@@ -24,9 +27,32 @@ import (
 
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/flipper"
+	"sendforget/internal/protocol/pushpull"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/protocol/sfopt"
+	"sendforget/internal/protocol/shuffle"
 	"sendforget/internal/runtime"
 	"sendforget/internal/transport"
 )
+
+// newCore builds the step core for the named protocol.
+func newCore(name string, s, dl int) (protocol.StepCore, error) {
+	switch name {
+	case "sf":
+		return sendforget.NewCore(s, dl)
+	case "sfopt":
+		return sfopt.NewCore(sfopt.Options{S: s, DL: dl, ReplaceWhenFull: true, Undelete: true})
+	case "shuffle":
+		return shuffle.NewCore(s)
+	case "flipper":
+		return flipper.NewCore(s)
+	case "pushpull":
+		return pushpull.NewCore(s)
+	default:
+		return nil, fmt.Errorf("sfnode: unknown protocol %q (want sf, sfopt, shuffle, flipper, or pushpull)", name)
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -38,8 +64,9 @@ func run(args []string) int {
 	listen := fs.String("listen", "127.0.0.1:0", "UDP listen address")
 	peersFlag := fs.String("peers", "", "peer directory: id=host:port,id=host:port,...")
 	seedsFlag := fs.String("seeds", "", "comma-separated ids for the initial view (at least max(2, dl))")
-	s := fs.Int("s", 8, "view size (even >= 6)")
-	dl := fs.Int("dl", 2, "duplication threshold (even, <= s-6)")
+	protoName := fs.String("protocol", "sf", "protocol: sf, sfopt, shuffle, flipper, or pushpull")
+	s := fs.Int("s", 8, "view size (even >= 6 for sf/sfopt)")
+	dl := fs.Int("dl", 2, "duplication threshold (even, <= s-6; sf/sfopt only)")
 	period := fs.Duration("period", 250*time.Millisecond, "gossip period")
 	report := fs.Duration("report", 2*time.Second, "view report interval")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = run until signal)")
@@ -80,15 +107,20 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	core, err := newCore(*protoName, *s, *dl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	n, err := runtime.NewNode(runtime.NodeConfig{
-		ID: peer.ID(*id), S: *s, DL: *dl, Period: *period,
+		ID: peer.ID(*id), Core: core, Period: *period,
 	}, seeds, ep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	node.Store(n)
-	fmt.Printf("node n%d listening on %s (s=%d dL=%d period=%s)\n", *id, ep.Addr(), *s, *dl, *period)
+	fmt.Printf("node n%d [%s] listening on %s (s=%d dL=%d period=%s)\n", *id, core.Name(), ep.Addr(), *s, *dl, *period)
 	n.Start()
 	defer n.Stop()
 
@@ -104,8 +136,8 @@ func run(args []string) int {
 		select {
 		case <-ticker.C:
 			c := n.Counters()
-			fmt.Printf("view=%s sends=%d recvs=%d dups=%d dels=%d peers=%d(+%d learned)\n",
-				n.ViewSnapshot(), c.Sends, c.Receives, c.Duplications, c.Deletions,
+			fmt.Printf("view=%s sends=%d recvs=%d replies=%d dups=%d selfloops=%d peers=%d(+%d learned)\n",
+				n.ViewSnapshot(), c.Sends, c.Receives, c.Replies, c.Duplications, c.SelfLoops,
 				ep.KnownPeers(), ep.LearnedPeers())
 		case <-sig:
 			fmt.Println("leaving (no protocol action needed)")

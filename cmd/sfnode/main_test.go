@@ -82,4 +82,47 @@ func TestRunBadArgs(t *testing.T) {
 	if code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-s", "7"}); code != 2 {
 		t.Errorf("odd s exit = %d, want 2", code)
 	}
+	if code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-protocol", "nosuch"}); code != 2 {
+		t.Errorf("unknown protocol exit = %d, want 2", code)
+	}
+}
+
+func TestNewCoreAllProtocols(t *testing.T) {
+	for _, name := range []string{"sf", "sfopt", "shuffle", "flipper", "pushpull"} {
+		core, err := newCore(name, 8, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if core.ViewSize() != 8 {
+			t.Errorf("%s: view size = %d, want 8", name, core.ViewSize())
+		}
+	}
+	if _, err := newCore("nosuch", 8, 2); err == nil {
+		t.Error("accepted unknown protocol")
+	}
+}
+
+func TestRunForDurationShuffle(t *testing.T) {
+	// The runtime node runs the request/reply baselines too.
+	args := []string{
+		"-id", "0",
+		"-protocol", "shuffle",
+		"-listen", "127.0.0.1:0",
+		"-peers", "1=127.0.0.1:19997",
+		"-seeds", "1,1",
+		"-period", "5ms",
+		"-report", "20ms",
+		"-duration", "80ms",
+	}
+	done := make(chan int, 1)
+	go func() { done <- run(args) }()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("run exit = %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not terminate")
+	}
 }

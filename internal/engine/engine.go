@@ -17,6 +17,7 @@ import (
 
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
+	"sendforget/internal/metrics"
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
 	"sendforget/internal/rng"
@@ -100,6 +101,17 @@ func (e *Engine) Protocol() protocol.Protocol { return e.proto }
 
 // Counters returns a copy of the transport counters.
 func (e *Engine) Counters() Counters { return e.counters }
+
+// Traffic reports the transport counters in the substrate-neutral shape
+// shared with the concurrent runtime's Cluster.
+func (e *Engine) Traffic() metrics.Traffic {
+	return metrics.Traffic{
+		Sends:       e.counters.Sends,
+		Losses:      e.counters.Losses,
+		Deliveries:  e.counters.Deliveries,
+		DeadLetters: e.counters.DeadLetters,
+	}
+}
 
 // ActiveCount returns the number of schedulable nodes.
 func (e *Engine) ActiveCount() int { return len(e.active) }

@@ -1,0 +1,166 @@
+// Package equivalence is the cross-substrate harness behind Proposition
+// 5.2: the sequential discrete-event engine (internal/engine) and the
+// concurrent runtime cluster (internal/runtime) drive the same per-node step
+// cores, so — up to scheduling randomness — they must induce statistically
+// matching overlays. The harness runs one protocol on both substrates from
+// the same circulant bootstrap topology under the same loss model, checks
+// the protocol's per-view invariant on every resulting view, and summarizes
+// each overlay's in-degree distribution so tests can assert the two
+// substrates agree (small Kolmogorov-Smirnov distance, close mean degrees).
+//
+// Both runs are fully deterministic: the engine is seeded, and the cluster
+// is ticked manually round by round (no timers, no goroutine scheduling
+// influence on protocol state beyond the serial handler execution of the
+// in-memory network).
+package equivalence
+
+import (
+	"fmt"
+
+	"sendforget/internal/engine"
+	"sendforget/internal/graph"
+	"sendforget/internal/loss"
+	"sendforget/internal/metrics"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/runtime"
+	"sendforget/internal/stats"
+	"sendforget/internal/view"
+)
+
+// Config describes one cross-substrate comparison run.
+type Config struct {
+	// N is the number of nodes, Rounds the number of gossip rounds (each
+	// round is one initiated action per node on both substrates).
+	N, Rounds int
+	// Loss is the uniform message loss rate applied on both substrates.
+	Loss float64
+	// Seed drives both substrates (with distinct derived streams).
+	Seed int64
+	// InitDegree is the circulant bootstrap outdegree. It must match the
+	// initial topology NewProtocol builds so the substrates start from the
+	// same overlay.
+	InitDegree int
+	// NewProtocol builds the sequential substrate's protocol instance.
+	NewProtocol func() (protocol.Protocol, error)
+	// NewCore builds one fresh step core per concurrent runtime node.
+	NewCore protocol.CoreFactory
+}
+
+// Substrate summarizes one substrate's final overlay.
+type Substrate struct {
+	Views   []*view.View
+	Traffic metrics.Traffic
+	// InDegreePMF[k] is the fraction of nodes with in-degree k.
+	InDegreePMF []float64
+	MeanOut     float64
+	MeanIn      float64
+	SelfEdges   int
+}
+
+// Result pairs the two substrate summaries with their comparison stats.
+type Result struct {
+	Engine  Substrate
+	Cluster Substrate
+	// KS is the Kolmogorov-Smirnov distance between the two in-degree
+	// distributions.
+	KS float64
+}
+
+// Run executes the comparison. Beyond building the summaries it validates,
+// on both substrates, the protocol's own per-view invariant (via a fresh
+// probe core's CheckView) and the hard view-size bound.
+func Run(cfg Config) (*Result, error) {
+	if cfg.N < 2 || cfg.Rounds < 1 {
+		return nil, fmt.Errorf("equivalence: need n >= 2 and rounds >= 1")
+	}
+	if cfg.NewProtocol == nil || cfg.NewCore == nil {
+		return nil, fmt.Errorf("equivalence: both substrate constructors are required")
+	}
+
+	// Sequential substrate.
+	proto, err := cfg.NewProtocol()
+	if err != nil {
+		return nil, fmt.Errorf("equivalence: engine protocol: %w", err)
+	}
+	lm, err := loss.NewUniform(cfg.Loss)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.New(proto, lm, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	e.Run(cfg.Rounds)
+	engSub, err := summarize(cfg, e.Views(), e.Traffic())
+	if err != nil {
+		return nil, fmt.Errorf("equivalence: engine substrate: %w", err)
+	}
+
+	// Concurrent substrate, ticked manually for determinism.
+	cl, err := runtime.NewCluster(runtime.ClusterConfig{
+		N:          cfg.N,
+		NewCore:    cfg.NewCore,
+		InitDegree: cfg.InitDegree,
+		Loss:       cfg.Loss,
+		Seed:       cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("equivalence: cluster: %w", err)
+	}
+	for i := 0; i < cfg.Rounds; i++ {
+		cl.TickRound()
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("equivalence: cluster substrate: %w", err)
+	}
+	clSub, err := summarize(cfg, cl.Views(), cl.Traffic())
+	if err != nil {
+		return nil, fmt.Errorf("equivalence: cluster substrate: %w", err)
+	}
+
+	return &Result{
+		Engine:  *engSub,
+		Cluster: *clSub,
+		KS:      stats.KSDistance(engSub.InDegreePMF, clSub.InDegreePMF),
+	}, nil
+}
+
+// summarize validates every view against a fresh probe core and computes the
+// overlay statistics.
+func summarize(cfg Config, views []*view.View, tr metrics.Traffic) (*Substrate, error) {
+	probe, err := cfg.NewCore()
+	if err != nil {
+		return nil, err
+	}
+	s := probe.ViewSize()
+	for u, v := range views {
+		if v == nil {
+			continue
+		}
+		if err := probe.CheckView(v); err != nil {
+			return nil, fmt.Errorf("node %d: %w", u, err)
+		}
+		if v.Outdegree() > s {
+			return nil, fmt.Errorf("node %d: outdegree %d exceeds view size %d", u, v.Outdegree(), s)
+		}
+	}
+	g := graph.FromViews(views)
+	deg := metrics.Degrees(g, nil)
+	pmf := make([]float64, deg.MaxIn+1)
+	for u := 0; u < g.N(); u++ {
+		pmf[g.Indegree(peer.ID(u))]++
+	}
+	for k := range pmf {
+		pmf[k] /= float64(g.N())
+	}
+	return &Substrate{
+		Views:       views,
+		Traffic:     tr,
+		InDegreePMF: pmf,
+		MeanOut:     deg.MeanOut,
+		MeanIn:      deg.MeanIn,
+		SelfEdges:   g.SelfEdges(),
+	}, nil
+}

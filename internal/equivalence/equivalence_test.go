@@ -1,0 +1,210 @@
+package equivalence
+
+import (
+	"testing"
+
+	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/flipper"
+	"sendforget/internal/protocol/pushpull"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/protocol/sfopt"
+	"sendforget/internal/protocol/shuffle"
+	"sendforget/internal/stats"
+)
+
+// A case pairs one protocol's two substrate constructors with a matched
+// bootstrap topology.
+type equivCase struct {
+	name       string
+	n, rounds  int
+	lossRate   float64
+	initDegree int
+	newProto   func(n, initDegree int) (protocol.Protocol, error)
+	newCore    protocol.CoreFactory
+}
+
+func cases() []equivCase {
+	const n = 60
+	return []equivCase{
+		{
+			name: "sendforget", n: n, rounds: 150, lossRate: 0.05, initDegree: 8,
+			newProto: func(n, d int) (protocol.Protocol, error) {
+				return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: d})
+			},
+			newCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
+		},
+		{
+			name: "sfopt", n: n, rounds: 150, lossRate: 0.05, initDegree: 8,
+			newProto: func(n, d int) (protocol.Protocol, error) {
+				return sfopt.New(sfopt.Options{N: n, S: 12, DL: 4, InitDegree: d, ReplaceWhenFull: true, Undelete: true})
+			},
+			newCore: func() (protocol.StepCore, error) {
+				return sfopt.NewCore(sfopt.Options{S: 12, DL: 4, ReplaceWhenFull: true, Undelete: true})
+			},
+		},
+		{
+			name: "shuffle", n: n, rounds: 80, lossRate: 0.02, initDegree: 5,
+			newProto: func(n, d int) (protocol.Protocol, error) {
+				return shuffle.New(shuffle.Config{N: n, S: 10, InitDegree: d})
+			},
+			newCore: func() (protocol.StepCore, error) { return shuffle.NewCore(10) },
+		},
+		{
+			name: "flipper", n: n, rounds: 80, lossRate: 0.02, initDegree: 5,
+			newProto: func(n, d int) (protocol.Protocol, error) {
+				return flipper.New(flipper.Config{N: n, S: 10, Degree: d})
+			},
+			newCore: func() (protocol.StepCore, error) { return flipper.NewCore(10) },
+		},
+		{
+			name: "pushpull", n: n, rounds: 100, lossRate: 0.05, initDegree: 5,
+			newProto: func(n, d int) (protocol.Protocol, error) {
+				return pushpull.New(pushpull.Config{N: n, S: 10, InitDegree: d})
+			},
+			newCore: func() (protocol.StepCore, error) { return pushpull.NewCore(10) },
+		},
+	}
+}
+
+// TestSubstrateEquivalence is the Proposition 5.2 check for every protocol:
+// the sequential engine and the manually-ticked concurrent cluster, run from
+// the same bootstrap topology under the same loss rate, must produce
+// overlays with statistically matching in-degree distributions and mean
+// outdegrees. Results are pooled over several seeds to suppress the
+// per-run sampling noise of a 60-node system.
+func TestSubstrateEquivalence(t *testing.T) {
+	seeds := []int64{11, 29, 47, 83}
+	for _, tc := range cases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var engPMF, clPMF []float64
+			var engOut, clOut, engIn, clIn float64
+			for _, seed := range seeds {
+				res, err := Run(Config{
+					N:          tc.n,
+					Rounds:     tc.rounds,
+					Loss:       tc.lossRate,
+					Seed:       seed,
+					InitDegree: tc.initDegree,
+					NewProtocol: func() (protocol.Protocol, error) {
+						return tc.newProto(tc.n, tc.initDegree)
+					},
+					NewCore: tc.newCore,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				engPMF = accumulate(engPMF, res.Engine.InDegreePMF)
+				clPMF = accumulate(clPMF, res.Cluster.InDegreePMF)
+				engOut += res.Engine.MeanOut
+				clOut += res.Cluster.MeanOut
+				engIn += res.Engine.MeanIn
+				clIn += res.Cluster.MeanIn
+			}
+			k := float64(len(seeds))
+			engOut, clOut, engIn, clIn = engOut/k, clOut/k, engIn/k, clIn/k
+			scale(engPMF, 1/k)
+			scale(clPMF, 1/k)
+
+			ks := stats.KSDistance(engPMF, clPMF)
+			t.Logf("meanOut engine=%.2f cluster=%.2f, meanIn engine=%.2f cluster=%.2f, KS=%.3f",
+				engOut, clOut, engIn, clIn, ks)
+			if ks > 0.15 {
+				t.Errorf("in-degree KS distance %.3f between substrates exceeds 0.15", ks)
+			}
+			if d := relDiff(engOut, clOut); d > 0.10 {
+				t.Errorf("mean outdegree differs by %.1f%% (engine %.2f, cluster %.2f)", d*100, engOut, clOut)
+			}
+			if d := relDiff(engIn, clIn); d > 0.10 {
+				t.Errorf("mean indegree differs by %.1f%% (engine %.2f, cluster %.2f)", d*100, engIn, clIn)
+			}
+		})
+	}
+}
+
+// TestRunDeterminism pins that the harness is reproducible: same config,
+// same result.
+func TestRunDeterminism(t *testing.T) {
+	tc := cases()[0]
+	cfg := Config{
+		N: tc.n, Rounds: 50, Loss: tc.lossRate, Seed: 5, InitDegree: tc.initDegree,
+		NewProtocol: func() (protocol.Protocol, error) { return tc.newProto(tc.n, tc.initDegree) },
+		NewCore:     tc.newCore,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KS != b.KS || a.Engine.Traffic != b.Engine.Traffic || a.Cluster.Traffic != b.Cluster.Traffic {
+		t.Errorf("two identical runs diverged: %+v vs %+v", a, b)
+	}
+	if a.Engine.Traffic.Sends == 0 || a.Cluster.Traffic.Sends == 0 {
+		t.Error("a substrate reported no traffic")
+	}
+}
+
+// TestRunValidation covers the harness's own error paths.
+func TestRunValidation(t *testing.T) {
+	tc := cases()[0]
+	good := Config{
+		N: tc.n, Rounds: 10, Seed: 1, InitDegree: tc.initDegree,
+		NewProtocol: func() (protocol.Protocol, error) { return tc.newProto(tc.n, tc.initDegree) },
+		NewCore:     tc.newCore,
+	}
+	bad := good
+	bad.N = 1
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted n=1")
+	}
+	bad = good
+	bad.NewCore = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted nil core factory")
+	}
+	bad = good
+	bad.NewProtocol = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted nil protocol constructor")
+	}
+	bad = good
+	bad.Loss = 2
+	if _, err := Run(bad); err == nil {
+		t.Error("accepted loss > 1")
+	}
+}
+
+// accumulate adds q into p element-wise, growing p as needed.
+func accumulate(p, q []float64) []float64 {
+	if len(q) > len(p) {
+		p = append(p, make([]float64, len(q)-len(p))...)
+	}
+	for i, v := range q {
+		p[i] += v
+	}
+	return p
+}
+
+func scale(p []float64, f float64) {
+	for i := range p {
+		p[i] *= f
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m < 1 {
+		m = 1
+	}
+	return d / m
+}

@@ -13,6 +13,30 @@ import (
 	"sendforget/internal/view"
 )
 
+// Traffic aggregates message-level transport events in a substrate-neutral
+// shape: the sequential engine and the concurrent runtime cluster both
+// report their counters through it, so experiments can compare loss behavior
+// across substrates without caring which one produced the numbers.
+type Traffic struct {
+	// Sends counts messages emitted (including replies of request/reply
+	// protocols).
+	Sends int
+	// Losses counts messages dropped by the loss model.
+	Losses int
+	// Deliveries counts messages handed to a live node's receive step.
+	Deliveries int
+	// DeadLetters counts messages addressed to departed or unroutable nodes.
+	DeadLetters int
+}
+
+// LossRate returns the empirical loss fraction over all sends.
+func (t Traffic) LossRate() float64 {
+	if t.Sends == 0 {
+		return 0
+	}
+	return float64(t.Losses) / float64(t.Sends)
+}
+
 // DegreeStats summarizes the in/out degree balance of a membership graph
 // (Property M2: bounded indegree variance).
 type DegreeStats struct {

@@ -9,6 +9,16 @@ import (
 	"sendforget/internal/view"
 )
 
+func TestTrafficLossRate(t *testing.T) {
+	tr := Traffic{Sends: 200, Losses: 10, Deliveries: 185, DeadLetters: 5}
+	if got := tr.LossRate(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("LossRate = %v, want 0.05", got)
+	}
+	if got := (Traffic{}).LossRate(); got != 0 {
+		t.Errorf("zero-traffic LossRate = %v, want 0", got)
+	}
+}
+
 func TestDegrees(t *testing.T) {
 	g := graph.FromEdges(3, [][2]peer.ID{{0, 1}, {0, 2}, {1, 2}})
 	st := Degrees(g, nil)

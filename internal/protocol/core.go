@@ -1,0 +1,53 @@
+package protocol
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Outgoing couples a protocol message with its destination.
+type Outgoing struct {
+	To  peer.ID
+	Msg Message
+}
+
+// StepCore is the per-node protocol logic: the nonatomic step functions of
+// Section 4.1 expressed over a single local view, with no knowledge of the
+// rest of the system. It is the layer Proposition 5.2 is about — the same
+// steps behave equivalently whether driven by the serial scheduler of
+// internal/engine or by the concurrent fire-and-forget nodes of
+// internal/runtime, so both substrates execute exactly this code.
+//
+// A StepCore instance belongs to one node: implementations may keep
+// per-node auxiliary state (e.g. the sfopt graveyard) and counters, and are
+// not safe for concurrent use. Drivers serialize calls per instance; the
+// concurrent runtime gives every node its own instance.
+type StepCore interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// ViewSize returns the number of slots s of the local view the core
+	// operates on.
+	ViewSize() int
+	// SeedView builds the initial local view from the bootstrap seed ids
+	// (the paper's join rule: "a joining node has to know at least dL ids
+	// of live nodes"). It returns an error when the seeds are insufficient
+	// for the protocol's invariants.
+	SeedView(seeds []peer.ID) (*view.View, error)
+	// Initiate runs the initiator step at node u over its local view lv.
+	// It returns the messages to transmit, or ok = false when the action is
+	// a self-loop transformation (no message, no view change).
+	Initiate(lv *view.View, u peer.ID, r *rng.RNG) (msgs []Outgoing, ok bool)
+	// Receive runs the receive step at node u for a delivered message. It
+	// returns a reply and ok = true for bidirectional protocols; the reply
+	// is again subject to loss. Malformed messages are ignored.
+	Receive(lv *view.View, u peer.ID, msg Message, r *rng.RNG) (reply Outgoing, ok bool)
+	// CheckView verifies the protocol's per-node view invariant (e.g.
+	// Observation 5.1 for S&F: outdegree even and within [dL, s]).
+	CheckView(lv *view.View) error
+}
+
+// CoreFactory builds a fresh, independent StepCore. The concurrent runtime
+// calls it once per node so that per-node state and RNG-free bookkeeping
+// never cross goroutines.
+type CoreFactory func() (StepCore, error)

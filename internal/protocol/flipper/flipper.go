@@ -43,12 +43,13 @@ type Counters struct {
 }
 
 // Protocol is the flipper baseline state. It implements protocol.Protocol
-// and protocol.Churner.
+// and protocol.Churner by delegating every step to one shared Core — the
+// same step core the concurrent runtime drives.
 type Protocol struct {
-	cfg      Config
-	views    []*view.View
-	active   []bool
-	counters Counters
+	cfg    Config
+	core   *Core
+	views  []*view.View
+	active []bool
 }
 
 var (
@@ -73,8 +74,13 @@ func New(cfg Config) (*Protocol, error) {
 	if cfg.Degree > cfg.S || cfg.Degree >= cfg.N {
 		return nil, fmt.Errorf("flipper: degree %d must fit view %d and n %d", cfg.Degree, cfg.S, cfg.N)
 	}
+	core, err := NewCore(cfg.S)
+	if err != nil {
+		return nil, err
+	}
 	p := &Protocol{
 		cfg:    cfg,
+		core:   core,
 		views:  make([]*view.View, cfg.N),
 		active: make([]bool, cfg.N),
 	}
@@ -96,7 +102,7 @@ func (p *Protocol) Name() string { return "flipper" }
 func (p *Protocol) N() int { return p.cfg.N }
 
 // Counters returns a copy of the counters.
-func (p *Protocol) Counters() Counters { return p.counters }
+func (p *Protocol) Counters() Counters { return p.core.counters }
 
 // View returns u's view (nil after Leave).
 func (p *Protocol) View(u peer.ID) *view.View {
@@ -117,83 +123,34 @@ func (p *Protocol) Views() []*view.View {
 	return out
 }
 
-// Initiate starts a flip: u removes its payload edge (u, w) and offers it
-// to its out-neighbor v. The edge (u, v) itself stays put — it is the rail
-// the exchange travels on.
+// Initiate starts a flip by delegating to the shared step core: u removes
+// its payload edge (u, w) and offers it to its out-neighbor v.
 func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
-	p.counters.Initiations++
 	lv := p.views[u]
 	if lv == nil {
-		p.counters.SelfLoops++
+		p.core.counters.Initiations++
+		p.core.counters.SelfLoops++
 		return 0, protocol.Message{}, false
 	}
-	i, j := lv.RandomPair(r)
-	v, w := lv.Slot(i), lv.Slot(j)
-	if v.IsNil() || w.IsNil() || v == w {
-		// Parallel-edge selections make degenerate flips; treat them as
-		// self-loops like empty selections.
-		p.counters.SelfLoops++
+	msgs, ok := p.core.Initiate(lv, u, r)
+	if !ok {
 		return 0, protocol.Message{}, false
 	}
-	lv.Clear(j) // the payload edge (u, w) leaves u
-	p.counters.Requests++
-	return v, protocol.Message{
-		Kind: protocol.KindRequest,
-		From: u,
-		IDs:  []peer.ID{w},
-	}, true
+	return msgs[0].To, msgs[0].Msg, true
 }
 
-// Deliver handles flip requests (store w, detach one own edge z, reply) and
-// replies (store z).
+// Deliver handles flip requests and replies by delegating to the shared
+// step core.
 func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
 	lv := p.views[u]
 	if lv == nil {
 		return protocol.Message{}, 0, false
 	}
-	switch msg.Kind {
-	case protocol.KindRequest:
-		if len(msg.IDs) != 1 {
-			return protocol.Message{}, 0, false
-		}
-		// Detach a random own edge z to send back, then adopt w in its
-		// place — outdegree unchanged.
-		occupied := lv.OccupiedSlots()
-		if len(occupied) == 0 {
-			// Degenerate: nothing to swap; adopt w if possible.
-			p.store(lv, msg.IDs[0], r)
-			return protocol.Message{}, 0, false
-		}
-		slot := occupied[r.Intn(len(occupied))]
-		z := lv.Slot(slot)
-		lv.Clear(slot)
-		p.store(lv, msg.IDs[0], r)
-		p.counters.Replies++
-		return protocol.Message{
-			Kind: protocol.KindReply,
-			From: u,
-			IDs:  []peer.ID{z},
-		}, msg.From, true
-	case protocol.KindReply:
-		if len(msg.IDs) != 1 {
-			return protocol.Message{}, 0, false
-		}
-		p.store(lv, msg.IDs[0], r)
-		return protocol.Message{}, 0, false
-	default:
-		return protocol.Message{}, 0, false
-	}
-}
-
-// store places id into a uniformly chosen empty slot, dropping it (counted)
-// when the view is full.
-func (p *Protocol) store(lv *view.View, id peer.ID, r *rng.RNG) {
-	slots, ok := lv.RandomEmptySlots(r, 1)
+	reply, ok := p.core.Receive(lv, u, msg, r)
 	if !ok {
-		p.counters.Dropped++
-		return
+		return protocol.Message{}, 0, false
 	}
-	lv.Set(slots[0], id)
+	return reply.Msg, reply.To, true
 }
 
 // Join implements protocol.Churner.
@@ -201,15 +158,9 @@ func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
 	if p.active[u] {
 		return fmt.Errorf("flipper: node %v is already active", u)
 	}
-	if len(seeds) == 0 {
-		return fmt.Errorf("flipper: join of %v needs seeds", u)
-	}
-	v := view.New(p.cfg.S)
-	for i, id := range seeds {
-		if i >= p.cfg.S {
-			break
-		}
-		v.Set(i, id)
+	v, err := p.core.SeedView(seeds)
+	if err != nil {
+		return fmt.Errorf("flipper: join of %v: %w", u, err)
 	}
 	p.views[u] = v
 	p.active[u] = true

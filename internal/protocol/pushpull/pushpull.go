@@ -40,12 +40,13 @@ type Counters struct {
 }
 
 // Protocol is the push-pull baseline state. It implements protocol.Protocol
-// and protocol.Churner.
+// and protocol.Churner by delegating every step to one shared Core — the
+// same step core the concurrent runtime drives.
 type Protocol struct {
-	cfg      Config
-	views    []*view.View
-	active   []bool
-	counters Counters
+	cfg    Config
+	core   *Core
+	views  []*view.View
+	active []bool
 }
 
 var (
@@ -67,8 +68,13 @@ func New(cfg Config) (*Protocol, error) {
 	if cfg.InitDegree > cfg.S || cfg.InitDegree >= cfg.N {
 		return nil, fmt.Errorf("pushpull: initial degree %d must fit view %d and n %d", cfg.InitDegree, cfg.S, cfg.N)
 	}
+	core, err := NewCore(cfg.S)
+	if err != nil {
+		return nil, err
+	}
 	p := &Protocol{
 		cfg:    cfg,
+		core:   core,
 		views:  make([]*view.View, cfg.N),
 		active: make([]bool, cfg.N),
 	}
@@ -90,7 +96,7 @@ func (p *Protocol) Name() string { return "push-pull" }
 func (p *Protocol) N() int { return p.cfg.N }
 
 // Counters returns a copy of the counters.
-func (p *Protocol) Counters() Counters { return p.counters }
+func (p *Protocol) Counters() Counters { return p.core.counters }
 
 // View returns u's view (nil after Leave).
 func (p *Protocol) View(u peer.ID) *view.View {
@@ -111,44 +117,29 @@ func (p *Protocol) Views() []*view.View {
 	return out
 }
 
-// Initiate pushes [u, w] to a random neighbor, keeping both entries.
+// Initiate pushes [u, w] to a random neighbor, keeping both entries, by
+// delegating to the shared step core.
 func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
-	p.counters.Initiations++
 	lv := p.views[u]
 	if lv == nil {
-		p.counters.SelfLoops++
+		p.core.counters.Initiations++
+		p.core.counters.SelfLoops++
 		return 0, protocol.Message{}, false
 	}
-	i, j := lv.RandomPair(r)
-	v, w := lv.Slot(i), lv.Slot(j)
-	if v.IsNil() || w.IsNil() {
-		p.counters.SelfLoops++
+	msgs, ok := p.core.Initiate(lv, u, r)
+	if !ok {
 		return 0, protocol.Message{}, false
 	}
-	p.counters.Sends++
-	// Entries are kept: this is the defining difference from S&F.
-	return v, protocol.Message{
-		Kind: protocol.KindGossip,
-		From: u,
-		IDs:  []peer.ID{u, w},
-	}, true
+	return msgs[0].To, msgs[0].Msg, true
 }
 
-// Deliver stores the pushed ids, evicting random entries when full.
+// Deliver stores the pushed ids by delegating to the shared step core.
 func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
 	lv := p.views[u]
 	if lv == nil {
 		return protocol.Message{}, 0, false
 	}
-	for _, id := range msg.IDs {
-		if slots, ok := lv.RandomEmptySlots(r, 1); ok {
-			lv.Set(slots[0], id)
-			continue
-		}
-		// Full view: overwrite a uniformly random entry.
-		p.counters.Evictions++
-		lv.Set(r.Intn(lv.Size()), id)
-	}
+	p.core.Receive(lv, u, msg, r)
 	return protocol.Message{}, 0, false
 }
 
@@ -157,15 +148,9 @@ func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
 	if p.active[u] {
 		return fmt.Errorf("pushpull: node %v is already active", u)
 	}
-	if len(seeds) == 0 {
-		return fmt.Errorf("pushpull: join of %v needs seeds", u)
-	}
-	v := view.New(p.cfg.S)
-	for i, id := range seeds {
-		if i >= p.cfg.S {
-			break
-		}
-		v.Set(i, id)
+	v, err := p.core.SeedView(seeds)
+	if err != nil {
+		return fmt.Errorf("pushpull: join of %v: %w", u, err)
 	}
 	p.views[u] = v
 	p.active[u] = true

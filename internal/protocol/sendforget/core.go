@@ -1,0 +1,122 @@
+package sendforget
+
+import (
+	"fmt"
+
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Core is the per-node S&F step core: the Figure 5.1 step functions plus
+// event counters, implementing protocol.StepCore. The sequential Protocol
+// adapter shares one Core across all nodes (drivers serialize calls); the
+// concurrent runtime builds one per node. Not safe for concurrent use.
+type Core struct {
+	s, dl    int
+	counters Counters
+
+	// Effects of the most recent step, read by the same-package Protocol
+	// adapter for dependence tracking. Valid only immediately after a call.
+	lastSlots  [2]int
+	lastDup    bool
+	lastStored bool
+}
+
+var _ protocol.StepCore = (*Core)(nil)
+
+// NewCore builds an S&F step core with view size s and duplication
+// threshold dl, validating the paper's parameter constraints.
+func NewCore(s, dl int) (*Core, error) {
+	if s < 6 || s%2 != 0 {
+		return nil, fmt.Errorf("sendforget: view size s must be even and >= 6, got %d", s)
+	}
+	if dl < 0 || dl > s-6 || dl%2 != 0 {
+		return nil, fmt.Errorf("sendforget: threshold dL must be even in [0, s-6], got dL=%d s=%d", dl, s)
+	}
+	return &Core{s: s, dl: dl}, nil
+}
+
+// Name returns "send&forget".
+func (c *Core) Name() string { return "send&forget" }
+
+// ViewSize returns s.
+func (c *Core) ViewSize() int { return c.s }
+
+// Counters returns a copy of the core's event counters.
+func (c *Core) Counters() Counters { return c.counters }
+
+// SeedView fills a fresh view with the seed ids. Seeds beyond s are
+// dropped; an odd count is truncated to keep the outdegree even; fewer than
+// max(2, dL) usable seeds is an error (the paper's join rule).
+func (c *Core) SeedView(seeds []peer.ID) (*view.View, error) {
+	k := len(seeds)
+	if k > c.s {
+		k = c.s
+	}
+	if k%2 != 0 {
+		k--
+	}
+	if k < c.dl || k < 2 {
+		return nil, fmt.Errorf("sendforget: need at least max(2, dL=%d) seeds, got %d usable", c.dl, k)
+	}
+	lv := view.New(c.s)
+	for i := 0; i < k; i++ {
+		lv.Set(i, seeds[i])
+	}
+	return lv, nil
+}
+
+// Initiate implements S&F-InitiateAction of Figure 5.1 via InitiateStep.
+func (c *Core) Initiate(lv *view.View, u peer.ID, r *rng.RNG) ([]protocol.Outgoing, bool) {
+	c.counters.Initiations++
+	send, slots, ok := InitiateStep(lv, u, c.dl, r)
+	if !ok {
+		// Self-loop transformation: the view is unchanged.
+		c.counters.SelfLoops++
+		return nil, false
+	}
+	if send.Dup {
+		c.counters.Duplications++
+	}
+	c.counters.Sends++
+	c.lastSlots, c.lastDup = slots, send.Dup
+	return []protocol.Outgoing{{To: send.To, Msg: protocol.Message{
+		Kind: protocol.KindGossip,
+		From: u,
+		IDs:  []peer.ID{send.IDs[0], send.IDs[1]},
+		Dup:  send.Dup,
+	}}}, true
+}
+
+// Receive implements S&F-Receive of Figure 5.1 via ReceiveStep. S&F never
+// replies; messages of other kinds or wrong arity are ignored (the UDP
+// substrate can deliver garbage).
+func (c *Core) Receive(lv *view.View, u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Outgoing, bool) {
+	if msg.Kind != protocol.KindGossip || len(msg.IDs) != 2 {
+		return protocol.Outgoing{}, false
+	}
+	c.counters.Receives++
+	slots, stored := ReceiveStep(lv, c.s, [2]peer.ID{msg.IDs[0], msg.IDs[1]}, r)
+	c.lastStored = stored
+	if !stored {
+		// d(u) = s: the received ids are deleted.
+		c.counters.Deletions++
+		return protocol.Outgoing{}, false
+	}
+	c.lastSlots = slots
+	return protocol.Outgoing{}, false
+}
+
+// CheckView verifies Observation 5.1: outdegree even and within [dL, s].
+func (c *Core) CheckView(lv *view.View) error {
+	if err := lv.CheckInvariants(); err != nil {
+		return err
+	}
+	d := lv.Outdegree()
+	if d%2 != 0 || d < c.dl || d > c.s {
+		return fmt.Errorf("sendforget: outdegree %d violates Observation 5.1 (dL=%d, s=%d)", d, c.dl, c.s)
+	}
+	return nil
+}

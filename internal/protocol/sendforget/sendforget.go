@@ -99,14 +99,16 @@ type Counters struct {
 }
 
 // Protocol is the S&F protocol state for all nodes. It implements
-// protocol.Protocol and protocol.Churner. Not safe for concurrent use; the
-// drivers serialize access.
+// protocol.Protocol and protocol.Churner by delegating every step to one
+// shared Core (the same step core the concurrent runtime drives, so the
+// substrates cannot drift apart). Not safe for concurrent use; the drivers
+// serialize access.
 type Protocol struct {
-	cfg      Config
-	views    []*view.View
-	active   []bool
-	counters Counters
-	deps     *depTracker // nil unless cfg.TrackDependence
+	cfg    Config
+	core   *Core
+	views  []*view.View
+	active []bool
+	deps   *depTracker // nil unless cfg.TrackDependence
 }
 
 var (
@@ -130,8 +132,13 @@ func New(cfg Config) (*Protocol, error) {
 	if cfg.InitDegree >= cfg.N {
 		return nil, fmt.Errorf("sendforget: n=%d too small for initial degree %d", cfg.N, cfg.InitDegree)
 	}
+	core, err := NewCore(cfg.S, cfg.DL)
+	if err != nil {
+		return nil, err
+	}
 	p := &Protocol{
 		cfg:    cfg,
+		core:   core,
 		views:  make([]*view.View, cfg.N),
 		active: make([]bool, cfg.N),
 	}
@@ -179,64 +186,54 @@ func (p *Protocol) Views() []*view.View {
 }
 
 // Counters returns a copy of the event counters.
-func (p *Protocol) Counters() Counters { return p.counters }
+func (p *Protocol) Counters() Counters { return p.core.counters }
 
-// Initiate implements S&F-InitiateAction of Figure 5.1.
+// Core returns the shared step core the adapter drives.
+func (p *Protocol) Core() *Core { return p.core }
+
+// Initiate implements S&F-InitiateAction of Figure 5.1 by delegating to the
+// shared step core.
 func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
-	p.counters.Initiations++
 	lv := p.views[u]
 	if lv == nil {
 		// Departed nodes do not act; drivers normally never schedule them.
-		p.counters.SelfLoops++
+		p.core.counters.Initiations++
+		p.core.counters.SelfLoops++
 		return 0, protocol.Message{}, false
 	}
-	send, slots, ok := InitiateStep(lv, u, p.cfg.DL, r)
+	msgs, ok := p.core.Initiate(lv, u, r)
 	if !ok {
 		// Self-loop transformation: views remain unchanged.
-		p.counters.SelfLoops++
 		return 0, protocol.Message{}, false
-	}
-	if send.Dup {
-		p.counters.Duplications++
 	}
 	if p.deps != nil {
 		// On duplication the kept copies now share their information with
 		// the copies the message creates: mark them dependent. Otherwise
 		// the slots were cleared; reset their tags.
-		p.deps.mark(u, slots[0], send.Dup)
-		p.deps.mark(u, slots[1], send.Dup)
+		p.deps.mark(u, p.core.lastSlots[0], p.core.lastDup)
+		p.deps.mark(u, p.core.lastSlots[1], p.core.lastDup)
 	}
-	p.counters.Sends++
-	return send.To, protocol.Message{
-		Kind: protocol.KindGossip,
-		From: u,
-		IDs:  []peer.ID{send.IDs[0], send.IDs[1]},
-		Dup:  send.Dup,
-	}, true
+	return msgs[0].To, msgs[0].Msg, true
 }
 
-// Deliver implements S&F-Receive of Figure 5.1. S&F never replies.
+// Deliver implements S&F-Receive of Figure 5.1 by delegating to the shared
+// step core. S&F never replies.
 func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
-	p.counters.Receives++
 	lv := p.views[u]
 	if lv == nil {
 		// Message addressed to a node that left; the driver normally drops
 		// these, but be robust.
+		p.core.counters.Receives++
 		return protocol.Message{}, 0, false
 	}
-	slots, stored := ReceiveStep(lv, p.cfg.S, [2]peer.ID{msg.IDs[0], msg.IDs[1]}, r)
-	if !stored {
-		// d(u) = s: the received ids are deleted.
-		p.counters.Deletions++
-		return protocol.Message{}, 0, false
-	}
-	if p.deps != nil {
+	p.core.Receive(lv, u, msg, r)
+	if p.deps != nil && p.core.lastStored {
 		// Entries created by a duplicating action are dependent (Figure
 		// 7.1: "received previously duplicated"); entries moved by a
 		// non-duplicating action become independent ("sent without
 		// duplication").
-		p.deps.mark(u, slots[0], msg.Dup)
-		p.deps.mark(u, slots[1], msg.Dup)
+		p.deps.mark(u, p.core.lastSlots[0], msg.Dup)
+		p.deps.mark(u, p.core.lastSlots[1], msg.Dup)
 	}
 	return protocol.Message{}, 0, false
 }
@@ -249,27 +246,15 @@ func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
 	if p.active[u] {
 		return fmt.Errorf("sendforget: node %v is already active", u)
 	}
-	k := len(seeds)
-	if k > p.cfg.S {
-		k = p.cfg.S
-	}
-	if k%2 != 0 {
-		k--
-	}
-	if k < p.cfg.DL {
-		return fmt.Errorf("sendforget: join of %v needs at least dL=%d seeds, got %d usable", u, p.cfg.DL, k)
-	}
-	if k < 2 {
-		return fmt.Errorf("sendforget: join of %v needs at least 2 seeds", u)
-	}
-	v := view.New(p.cfg.S)
-	for i := 0; i < k; i++ {
-		v.Set(i, seeds[i])
+	v, err := p.core.SeedView(seeds)
+	if err != nil {
+		return fmt.Errorf("sendforget: join of %v: %w", u, err)
 	}
 	p.views[u] = v
 	p.active[u] = true
 	if p.deps != nil {
 		// A joiner's view is a copy of existing entries: all dependent.
+		k := v.Outdegree()
 		for i := 0; i < k; i++ {
 			p.deps.mark(u, i, true)
 		}
@@ -297,15 +282,8 @@ func (p *Protocol) CheckInvariants() error {
 		if lv == nil {
 			continue
 		}
-		if err := lv.CheckInvariants(); err != nil {
+		if err := p.core.CheckView(lv); err != nil {
 			return fmt.Errorf("node %d: %w", u, err)
-		}
-		d := lv.Outdegree()
-		if d%2 != 0 {
-			return fmt.Errorf("sendforget: node %d has odd outdegree %d", u, d)
-		}
-		if d < p.cfg.DL || d > p.cfg.S {
-			return fmt.Errorf("sendforget: node %d outdegree %d outside [%d, %d]", u, d, p.cfg.DL, p.cfg.S)
 		}
 	}
 	return nil

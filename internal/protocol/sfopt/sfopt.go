@@ -43,10 +43,9 @@ type Options struct {
 	GraveyardSize int
 }
 
-func (o Options) validate() error {
-	if o.N < 2 {
-		return fmt.Errorf("sfopt: need at least 2 nodes, got %d", o.N)
-	}
+// validateCore checks the per-node protocol parameters (the subset a step
+// core needs).
+func (o Options) validateCore() error {
 	if o.S < 6 || o.S%2 != 0 {
 		return fmt.Errorf("sfopt: view size must be even >= 6, got %d", o.S)
 	}
@@ -56,10 +55,35 @@ func (o Options) validate() error {
 	if o.BatchK != 0 && (o.BatchK < 2 || o.BatchK%2 != 0 || o.BatchK > o.S) {
 		return fmt.Errorf("sfopt: batch size must be even in [2, s], got %d", o.BatchK)
 	}
+	return nil
+}
+
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("sfopt: need at least 2 nodes, got %d", o.N)
+	}
+	if err := o.validateCore(); err != nil {
+		return err
+	}
 	if o.InitDegree != 0 && (o.InitDegree%2 != 0 || o.InitDegree < 2 || o.InitDegree > o.S || o.InitDegree >= o.N) {
 		return fmt.Errorf("sfopt: invalid initial degree %d", o.InitDegree)
 	}
 	return nil
+}
+
+// variantName identifies the active variant combination.
+func (o Options) variantName() string {
+	name := "s&f-opt"
+	if o.BatchK != 0 && o.BatchK != 2 {
+		name += fmt.Sprintf("+batch%d", o.BatchK)
+	}
+	if o.ReplaceWhenFull {
+		name += "+replace"
+	}
+	if o.Undelete {
+		name += "+undelete"
+	}
+	return name
 }
 
 // Counters tallies variant events.
@@ -75,12 +99,13 @@ type Counters struct {
 	Deleted      int // ids dropped for lack of space
 }
 
-// Protocol is the optimized-variant S&F. It implements protocol.Protocol.
+// Protocol is the optimized-variant S&F. It implements protocol.Protocol
+// by delegating to one step Core per node (the graveyard is per-node
+// state, so cores cannot be shared).
 type Protocol struct {
-	opts      Options
-	views     []*view.View
-	graveyard [][]peer.ID
-	counters  Counters
+	opts  Options
+	views []*view.View
+	cores []*Core
 }
 
 var _ protocol.Protocol = (*Protocol)(nil)
@@ -116,11 +141,16 @@ func New(opts Options) (*Protocol, error) {
 		return nil, fmt.Errorf("sfopt: n=%d too small for initial degree %d", opts.N, opts.InitDegree)
 	}
 	p := &Protocol{
-		opts:      opts,
-		views:     make([]*view.View, opts.N),
-		graveyard: make([][]peer.ID, opts.N),
+		opts:  opts,
+		views: make([]*view.View, opts.N),
+		cores: make([]*Core, opts.N),
 	}
 	for u := 0; u < opts.N; u++ {
+		core, err := NewCore(opts)
+		if err != nil {
+			return nil, err
+		}
+		p.cores[u] = core
 		v := view.New(opts.S)
 		for k := 1; k <= opts.InitDegree; k++ {
 			v.Set(k-1, peer.ID((u+k)%opts.N))
@@ -131,25 +161,28 @@ func New(opts Options) (*Protocol, error) {
 }
 
 // Name identifies the active variant combination.
-func (p *Protocol) Name() string {
-	name := "s&f-opt"
-	if p.opts.BatchK != 2 {
-		name += fmt.Sprintf("+batch%d", p.opts.BatchK)
-	}
-	if p.opts.ReplaceWhenFull {
-		name += "+replace"
-	}
-	if p.opts.Undelete {
-		name += "+undelete"
-	}
-	return name
-}
+func (p *Protocol) Name() string { return p.opts.variantName() }
 
 // N returns the node count.
 func (p *Protocol) N() int { return p.opts.N }
 
-// Counters returns a copy of the counters.
-func (p *Protocol) Counters() Counters { return p.counters }
+// Counters returns the counters summed over all per-node cores.
+func (p *Protocol) Counters() Counters {
+	var sum Counters
+	for _, c := range p.cores {
+		cc := c.counters
+		sum.Initiations += cc.Initiations
+		sum.SelfLoops += cc.SelfLoops
+		sum.Sends += cc.Sends
+		sum.Duplications += cc.Duplications
+		sum.Undeletions += cc.Undeletions
+		sum.Receives += cc.Receives
+		sum.Stored += cc.Stored
+		sum.Replaced += cc.Replaced
+		sum.Deleted += cc.Deleted
+	}
+	return sum
+}
 
 // View returns u's view.
 func (p *Protocol) View(u peer.ID) *view.View { return p.views[u] }
@@ -161,102 +194,23 @@ func (p *Protocol) Views() []*view.View {
 	return out
 }
 
-// Initiate selects BatchK distinct slots; the first non-empty rule of the
-// baseline generalizes to all selected slots being non-empty (a single
-// empty selection is a self-loop, keeping the analysis clean).
+// Initiate selects BatchK distinct slots by delegating to u's step core; the
+// first non-empty rule of the baseline generalizes to all selected slots
+// being non-empty (a single empty selection is a self-loop, keeping the
+// analysis clean).
 func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
-	p.counters.Initiations++
-	lv := p.views[u]
-	k := p.opts.BatchK
-	slots := r.Choose(lv.Size(), k)
-	ids := make([]peer.ID, 0, k)
-	for _, slot := range slots {
-		id := lv.Slot(slot)
-		if id.IsNil() {
-			p.counters.SelfLoops++
-			return 0, protocol.Message{}, false
-		}
-		ids = append(ids, id)
+	msgs, ok := p.cores[u].Initiate(p.views[u], u, r)
+	if !ok {
+		return 0, protocol.Message{}, false
 	}
-	target := ids[0]
-	atFloor := lv.Outdegree() <= p.opts.DL
-	switch {
-	case !atFloor:
-		for _, slot := range slots {
-			p.bury(u, lv.Slot(slot))
-			lv.Clear(slot)
-		}
-	case p.opts.Undelete && len(p.graveyard[u]) >= k:
-		// Optimization 1: clear the sent entries but refill from the
-		// graveyard — fresh-ish ids instead of correlated copies.
-		for _, slot := range slots {
-			lv.Clear(slot)
-		}
-		for i := 0; i < k; i++ {
-			id := p.exhume(u)
-			if empties, ok := lv.RandomEmptySlots(r, 1); ok {
-				lv.Set(empties[0], id)
-			}
-		}
-		p.counters.Undeletions++
-	default:
-		// Baseline duplication: keep the entries.
-		p.counters.Duplications++
-	}
-	p.counters.Sends++
-	payload := make([]peer.ID, k)
-	payload[0] = u
-	copy(payload[1:], ids[1:])
-	return target, protocol.Message{
-		Kind: protocol.KindGossip,
-		From: u,
-		IDs:  payload,
-		Dup:  atFloor,
-	}, true
+	return msgs[0].To, msgs[0].Msg, true
 }
 
-// Deliver stores the batch, replacing or deleting on overflow per the
-// options. Parity of the outdegree is preserved: the number of empty slots
-// is even, so the count stored into empties is even whenever the batch is.
+// Deliver stores the batch by delegating to u's step core, which replaces or
+// deletes on overflow per the options.
 func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
-	p.counters.Receives++
-	lv := p.views[u]
-	for _, id := range msg.IDs {
-		if empties, ok := lv.RandomEmptySlots(r, 1); ok {
-			lv.Set(empties[0], id)
-			p.counters.Stored++
-			continue
-		}
-		if p.opts.ReplaceWhenFull {
-			slot := r.Intn(lv.Size())
-			p.bury(u, lv.Slot(slot))
-			lv.Set(slot, id)
-			p.counters.Replaced++
-			continue
-		}
-		p.counters.Deleted++
-	}
+	p.cores[u].Receive(p.views[u], u, msg, r)
 	return protocol.Message{}, 0, false
-}
-
-// bury pushes id onto u's graveyard (bounded FIFO).
-func (p *Protocol) bury(u peer.ID, id peer.ID) {
-	if !p.opts.Undelete || id.IsNil() {
-		return
-	}
-	gy := p.graveyard[u]
-	if len(gy) >= p.opts.GraveyardSize {
-		gy = gy[1:]
-	}
-	p.graveyard[u] = append(gy, id)
-}
-
-// exhume pops the most recently buried id.
-func (p *Protocol) exhume(u peer.ID) peer.ID {
-	gy := p.graveyard[u]
-	id := gy[len(gy)-1]
-	p.graveyard[u] = gy[:len(gy)-1]
-	return id
 }
 
 // CheckInvariants verifies even outdegrees within [dL-ish, s]. The variant
@@ -264,14 +218,8 @@ func (p *Protocol) exhume(u peer.ID) peer.ID {
 // live entries if the graveyard ran dry mid-refill; parity must still hold.
 func (p *Protocol) CheckInvariants() error {
 	for u, lv := range p.views {
-		if err := lv.CheckInvariants(); err != nil {
+		if err := p.cores[u].CheckView(lv); err != nil {
 			return fmt.Errorf("node %d: %w", u, err)
-		}
-		if lv.Outdegree()%2 != 0 {
-			return fmt.Errorf("sfopt: node %d has odd outdegree %d", u, lv.Outdegree())
-		}
-		if lv.Outdegree() > p.opts.S {
-			return fmt.Errorf("sfopt: node %d outdegree %d exceeds s", u, lv.Outdegree())
 		}
 	}
 	return nil

@@ -41,12 +41,13 @@ type Counters struct {
 }
 
 // Protocol is the shuffle baseline state. It implements protocol.Protocol
-// and protocol.Churner.
+// and protocol.Churner by delegating every step to one shared Core — the
+// same step core the concurrent runtime drives.
 type Protocol struct {
-	cfg      Config
-	views    []*view.View
-	active   []bool
-	counters Counters
+	cfg    Config
+	core   *Core
+	views  []*view.View
+	active []bool
 }
 
 var (
@@ -71,8 +72,13 @@ func New(cfg Config) (*Protocol, error) {
 	if cfg.InitDegree > cfg.S || cfg.InitDegree >= cfg.N {
 		return nil, fmt.Errorf("shuffle: initial degree %d must fit view %d and n %d", cfg.InitDegree, cfg.S, cfg.N)
 	}
+	core, err := NewCore(cfg.S)
+	if err != nil {
+		return nil, err
+	}
 	p := &Protocol{
 		cfg:    cfg,
+		core:   core,
 		views:  make([]*view.View, cfg.N),
 		active: make([]bool, cfg.N),
 	}
@@ -94,7 +100,7 @@ func (p *Protocol) Name() string { return "shuffle" }
 func (p *Protocol) N() int { return p.cfg.N }
 
 // Counters returns a copy of the counters.
-func (p *Protocol) Counters() Counters { return p.counters }
+func (p *Protocol) Counters() Counters { return p.core.counters }
 
 // View returns u's view (nil after Leave).
 func (p *Protocol) View(u peer.ID) *view.View {
@@ -115,80 +121,34 @@ func (p *Protocol) Views() []*view.View {
 	return out
 }
 
-// Initiate removes two entries and offers them to the first.
+// Initiate removes two entries and offers them to the first, delegating to
+// the shared step core.
 func (p *Protocol) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
-	p.counters.Initiations++
 	lv := p.views[u]
 	if lv == nil {
-		p.counters.SelfLoops++
+		p.core.counters.Initiations++
+		p.core.counters.SelfLoops++
 		return 0, protocol.Message{}, false
 	}
-	i, j := lv.RandomPair(r)
-	v, w := lv.Slot(i), lv.Slot(j)
-	if v.IsNil() || w.IsNil() {
-		p.counters.SelfLoops++
+	msgs, ok := p.core.Initiate(lv, u, r)
+	if !ok {
 		return 0, protocol.Message{}, false
 	}
-	lv.Clear(i)
-	lv.Clear(j)
-	p.counters.Requests++
-	return v, protocol.Message{
-		Kind: protocol.KindRequest,
-		From: u,
-		IDs:  []peer.ID{u, w},
-	}, true
+	return msgs[0].To, msgs[0].Msg, true
 }
 
-// Deliver handles requests (store ids, remove and reply with two own
-// entries) and replies (store ids).
+// Deliver handles requests and replies by delegating to the shared step
+// core.
 func (p *Protocol) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
 	lv := p.views[u]
 	if lv == nil {
 		return protocol.Message{}, 0, false
 	}
-	switch msg.Kind {
-	case protocol.KindRequest:
-		p.store(lv, msg.IDs, r)
-		// Offer up to two of our own entries back, removing them.
-		occupied := lv.OccupiedSlots()
-		k := 2
-		if len(occupied) < k {
-			k = len(occupied)
-		}
-		if k == 0 {
-			return protocol.Message{}, 0, false
-		}
-		var offer []peer.ID
-		for _, idx := range r.Choose(len(occupied), k) {
-			slot := occupied[idx]
-			offer = append(offer, lv.Slot(slot))
-			lv.Clear(slot)
-		}
-		p.counters.Replies++
-		return protocol.Message{
-			Kind: protocol.KindReply,
-			From: u,
-			IDs:  offer,
-		}, msg.From, true
-	case protocol.KindReply:
-		p.store(lv, msg.IDs, r)
-		return protocol.Message{}, 0, false
-	default:
+	reply, ok := p.core.Receive(lv, u, msg, r)
+	if !ok {
 		return protocol.Message{}, 0, false
 	}
-}
-
-// store places ids into uniformly chosen empty slots, dropping ids that do
-// not fit (counted).
-func (p *Protocol) store(lv *view.View, ids []peer.ID, r *rng.RNG) {
-	for _, id := range ids {
-		slots, ok := lv.RandomEmptySlots(r, 1)
-		if !ok {
-			p.counters.Dropped++
-			continue
-		}
-		lv.Set(slots[0], id)
-	}
+	return reply.Msg, reply.To, true
 }
 
 // Join implements protocol.Churner.
@@ -196,15 +156,9 @@ func (p *Protocol) Join(u peer.ID, seeds []peer.ID) error {
 	if p.active[u] {
 		return fmt.Errorf("shuffle: node %v is already active", u)
 	}
-	if len(seeds) == 0 {
-		return fmt.Errorf("shuffle: join of %v needs seeds", u)
-	}
-	v := view.New(p.cfg.S)
-	for i, id := range seeds {
-		if i >= p.cfg.S {
-			break
-		}
-		v.Set(i, id)
+	v, err := p.core.SeedView(seeds)
+	if err != nil {
+		return fmt.Errorf("shuffle: join of %v: %w", u, err)
 	}
 	p.views[u] = v
 	p.active[u] = true

@@ -6,7 +6,9 @@ import (
 
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
+	"sendforget/internal/metrics"
 	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
 	"sendforget/internal/rng"
 	"sendforget/internal/transport"
 	"sendforget/internal/view"
@@ -16,10 +18,11 @@ import (
 type ClusterConfig struct {
 	// N is the number of nodes.
 	N int
-	// S, DL are the S&F parameters shared by all nodes.
-	S, DL int
+	// NewCore builds one fresh protocol step core per node. Cores hold
+	// per-node state and are never shared across nodes.
+	NewCore protocol.CoreFactory
 	// InitDegree is the circulant bootstrap outdegree (0 selects an even
-	// value midway between DL and S).
+	// value of about half the core's view size).
 	InitDegree int
 	// Loss is the uniform message loss rate of the in-memory network.
 	Loss float64
@@ -30,7 +33,7 @@ type ClusterConfig struct {
 	Seed int64
 }
 
-// Cluster is a set of concurrently running S&F nodes wired through an
+// Cluster is a set of concurrently running protocol nodes wired through an
 // in-memory lossy network.
 type Cluster struct {
 	cfg   ClusterConfig
@@ -43,6 +46,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.N < 2 {
 		return nil, fmt.Errorf("runtime: cluster needs at least 2 nodes, got %d", cfg.N)
 	}
+	if cfg.NewCore == nil {
+		return nil, fmt.Errorf("runtime: cluster needs a core factory")
+	}
 	if cfg.Period == 0 {
 		cfg.Period = 10 * time.Millisecond
 	}
@@ -50,17 +56,27 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Seed = 1
 	}
 	if cfg.InitDegree == 0 {
-		d := (cfg.DL + cfg.S) / 2
+		probe, err := cfg.NewCore()
+		if err != nil {
+			return nil, fmt.Errorf("runtime: core factory: %w", err)
+		}
+		d := probe.ViewSize() / 2
 		if d%2 != 0 {
 			d--
 		}
 		if d < 2 {
 			d = 2
 		}
+		if d >= cfg.N {
+			d = cfg.N - 1
+			if d%2 != 0 {
+				d--
+			}
+		}
 		cfg.InitDegree = d
 	}
-	if cfg.InitDegree >= cfg.N {
-		return nil, fmt.Errorf("runtime: init degree %d must be below n=%d", cfg.InitDegree, cfg.N)
+	if cfg.InitDegree >= cfg.N || cfg.InitDegree < 1 {
+		return nil, fmt.Errorf("runtime: init degree %d must be in [1, n-1] for n=%d", cfg.InitDegree, cfg.N)
 	}
 	lm, err := loss.NewUniform(cfg.Loss)
 	if err != nil {
@@ -72,14 +88,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, net: nw, nodes: make([]*Node, cfg.N)}
 	for u := 0; u < cfg.N; u++ {
+		core, err := cfg.NewCore()
+		if err != nil {
+			return nil, fmt.Errorf("runtime: core for node %d: %w", u, err)
+		}
 		seeds := make([]peer.ID, cfg.InitDegree)
 		for k := range seeds {
 			seeds[k] = peer.ID((u + k + 1) % cfg.N)
 		}
 		node, err := NewNode(NodeConfig{
 			ID:     peer.ID(u),
-			S:      cfg.S,
-			DL:     cfg.DL,
+			Core:   core,
 			Period: cfg.Period,
 			Seed:   cfg.Seed + int64(u) + 1,
 		}, seeds, nw)
@@ -142,7 +161,39 @@ func (c *Cluster) Snapshot() *graph.Graph {
 	return graph.FromViews(c.Views())
 }
 
-// CheckInvariants validates Observation 5.1 on every node.
+// Counters sums the per-node counters over all live nodes.
+func (c *Cluster) Counters() NodeCounters {
+	var sum NodeCounters
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		nc := n.Counters()
+		sum.Ticks += nc.Ticks
+		sum.SelfLoops += nc.SelfLoops
+		sum.Sends += nc.Sends
+		sum.Duplications += nc.Duplications
+		sum.Receives += nc.Receives
+		sum.Replies += nc.Replies
+		sum.SendErrors += nc.SendErrors
+	}
+	return sum
+}
+
+// Traffic reports the network counters in the substrate-neutral shape
+// shared with the sequential engine.
+func (c *Cluster) Traffic() metrics.Traffic {
+	nc := c.net.Counters()
+	return metrics.Traffic{
+		Sends:       nc.Sent,
+		Losses:      nc.Lost,
+		Deliveries:  nc.Delivered,
+		DeadLetters: nc.NoRoute,
+	}
+}
+
+// CheckInvariants validates the protocol's per-view invariant (Observation
+// 5.1 for S&F) on every node.
 func (c *Cluster) CheckInvariants() error {
 	for _, n := range c.nodes {
 		if n == nil {
@@ -178,10 +229,13 @@ func (c *Cluster) AddNode(u peer.ID, seeds []peer.ID, start bool) error {
 	if c.nodes[u] != nil {
 		return fmt.Errorf("runtime: node %v is already active", u)
 	}
+	core, err := c.cfg.NewCore()
+	if err != nil {
+		return fmt.Errorf("runtime: core for node %v: %w", u, err)
+	}
 	node, err := NewNode(NodeConfig{
 		ID:     u,
-		S:      c.cfg.S,
-		DL:     c.cfg.DL,
+		Core:   core,
 		Period: c.cfg.Period,
 		Seed:   c.cfg.Seed + int64(u) + 7919, // distinct stream on rejoin
 	}, seeds, c.net)

@@ -1,12 +1,14 @@
-// Package runtime is the concurrent implementation of S&F: one goroutine
-// per node, periodic action initiation, and fire-and-forget messaging over
-// a transport — the deployment shape Section 5 describes ("each node
-// periodically invoking its InitiateAction method at the same frequency at
-// all nodes").
+// Package runtime is the concurrent implementation of the gossip membership
+// protocols: one goroutine per node, periodic action initiation, and
+// fire-and-forget messaging over a transport — the deployment shape Section
+// 5 describes ("each node periodically invoking its InitiateAction method at
+// the same frequency at all nodes").
 //
-// Every protocol decision is made by the same step functions
-// (sendforget.InitiateStep / ReceiveStep) the sequential simulator uses;
-// the runtime adds only concurrency, timers, and transport.
+// Every protocol decision is made by a protocol.StepCore — the same step
+// cores the sequential simulator's adapters delegate to; the runtime adds
+// only concurrency, timers, and transport. Proposition 5.2 is what licenses
+// sharing the cores: the serial scheduler and the concurrent fire-and-forget
+// deployment induce the same protocol behavior.
 package runtime
 
 import (
@@ -16,7 +18,6 @@ import (
 
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
-	"sendforget/internal/protocol/sendforget"
 	"sendforget/internal/rng"
 	"sendforget/internal/view"
 )
@@ -31,9 +32,10 @@ type Sender interface {
 type NodeConfig struct {
 	// ID is this node's identity.
 	ID peer.ID
-	// S is the view size (even, >= 6); DL the duplication threshold (even,
-	// 0 <= DL <= S-6).
-	S, DL int
+	// Core is the per-node protocol step core. It must be a fresh instance:
+	// the node serializes access through its own lock, so a core shared with
+	// another node would race.
+	Core protocol.StepCore
 	// Period is the gossip period between initiated actions (used by
 	// Start; Tick can be driven manually instead). Defaults to 100ms.
 	Period time.Duration
@@ -42,32 +44,32 @@ type NodeConfig struct {
 }
 
 func (c NodeConfig) validate() error {
-	if c.S < 6 || c.S%2 != 0 {
-		return fmt.Errorf("runtime: view size s must be even >= 6, got %d", c.S)
-	}
-	if c.DL < 0 || c.DL > c.S-6 || c.DL%2 != 0 {
-		return fmt.Errorf("runtime: threshold dL must be even in [0, s-6], got %d", c.DL)
+	if c.Core == nil {
+		return fmt.Errorf("runtime: nil step core")
 	}
 	return nil
 }
 
-// NodeCounters tallies one node's protocol events.
+// NodeCounters tallies one node's protocol events. They are
+// protocol-agnostic; protocol-specific tallies (duplications vs. evictions
+// vs. undeletions) live in the concrete core, which the caller retains.
 type NodeCounters struct {
 	Ticks        int
 	SelfLoops    int
 	Sends        int
 	Duplications int
 	Receives     int
-	Deletions    int
+	Replies      int
 	SendErrors   int
 }
 
-// Node is a single S&F participant. All state is private and protected by
-// one mutex; the send happens outside the lock so that two nodes gossiping
+// Node is a single protocol participant. All state is private and protected
+// by one mutex; sends happen outside the lock so that two nodes gossiping
 // at each other cannot deadlock.
 type Node struct {
-	cfg NodeConfig
-	out Sender
+	cfg  NodeConfig
+	core protocol.StepCore
+	out  Sender
 
 	mu       sync.Mutex
 	lv       *view.View
@@ -80,9 +82,9 @@ type Node struct {
 	wg        sync.WaitGroup
 }
 
-// NewNode builds a node whose initial view holds the seed ids ("a joining
-// node has to know at least dL ids of live nodes"). Seeds beyond s are
-// dropped; an odd count is truncated to keep the outdegree even.
+// NewNode builds a node whose initial view is seeded by the core ("a joining
+// node has to know at least dL ids of live nodes"). The core decides how
+// many seeds are usable and errors when too few are given.
 func NewNode(cfg NodeConfig, seeds []peer.ID, out Sender) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -96,22 +98,13 @@ func NewNode(cfg NodeConfig, seeds []peer.ID, out Sender) (*Node, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = int64(cfg.ID) + 1
 	}
-	k := len(seeds)
-	if k > cfg.S {
-		k = cfg.S
-	}
-	if k%2 != 0 {
-		k--
-	}
-	if k < cfg.DL || k < 2 {
-		return nil, fmt.Errorf("runtime: node %v needs at least max(2, dL=%d) seeds, got %d usable", cfg.ID, cfg.DL, k)
-	}
-	lv := view.New(cfg.S)
-	for i := 0; i < k; i++ {
-		lv.Set(i, seeds[i])
+	lv, err := cfg.Core.SeedView(seeds)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: node %v: %w", cfg.ID, err)
 	}
 	return &Node{
 		cfg:  cfg,
+		core: cfg.Core,
 		out:  out,
 		lv:   lv,
 		r:    rng.New(cfg.Seed),
@@ -122,46 +115,57 @@ func NewNode(cfg NodeConfig, seeds []peer.ID, out Sender) (*Node, error) {
 // ID returns the node's identity.
 func (n *Node) ID() peer.ID { return n.cfg.ID }
 
-// Tick initiates one S&F action: the initiate step runs under the node
-// lock, the send outside it.
+// Tick initiates one protocol action: the initiate step runs under the node
+// lock, the sends outside it.
 func (n *Node) Tick() {
 	n.mu.Lock()
 	n.counters.Ticks++
-	send, _, ok := sendforget.InitiateStep(n.lv, n.cfg.ID, n.cfg.DL, n.r)
+	msgs, ok := n.core.Initiate(n.lv, n.cfg.ID, n.r)
 	if !ok {
 		n.counters.SelfLoops++
 		n.mu.Unlock()
 		return
 	}
-	n.counters.Sends++
-	if send.Dup {
-		n.counters.Duplications++
+	n.counters.Sends += len(msgs)
+	for _, m := range msgs {
+		if m.Msg.Dup {
+			n.counters.Duplications++
+		}
 	}
 	n.mu.Unlock()
 
-	msg := protocol.Message{
-		Kind: protocol.KindGossip,
-		From: n.cfg.ID,
-		IDs:  []peer.ID{send.IDs[0], send.IDs[1]},
-		Dup:  send.Dup,
+	errs := 0
+	for _, m := range msgs {
+		if err := n.out.Send(m.To, m.Msg); err != nil {
+			errs++
+		}
 	}
-	if err := n.out.Send(send.To, msg); err != nil {
+	if errs > 0 {
 		n.mu.Lock()
-		n.counters.SendErrors++
+		n.counters.SendErrors += errs
 		n.mu.Unlock()
 	}
 }
 
-// HandleMessage is the transport receive handler: the S&F receive step.
+// HandleMessage is the transport receive handler: the protocol's receive
+// step under the lock, with any reply (request/reply protocols such as
+// shuffle and flipper) sent outside it. Reply chains terminate because
+// replies never generate further replies.
 func (n *Node) HandleMessage(msg protocol.Message) {
-	if msg.Kind != protocol.KindGossip || len(msg.IDs) != 2 {
-		return
-	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.counters.Receives++
-	if _, stored := sendforget.ReceiveStep(n.lv, n.cfg.S, [2]peer.ID{msg.IDs[0], msg.IDs[1]}, n.r); !stored {
-		n.counters.Deletions++
+	reply, ok := n.core.Receive(n.lv, n.cfg.ID, msg, n.r)
+	if ok {
+		n.counters.Replies++
+	}
+	n.mu.Unlock()
+
+	if ok {
+		if err := n.out.Send(reply.To, reply.Msg); err != nil {
+			n.mu.Lock()
+			n.counters.SendErrors++
+			n.mu.Unlock()
+		}
 	}
 }
 
@@ -207,16 +211,13 @@ func (n *Node) Counters() NodeCounters {
 	return n.counters
 }
 
-// CheckInvariants verifies Observation 5.1 on the live view.
+// CheckInvariants verifies the protocol's per-view invariant (Observation
+// 5.1 for S&F) on the live view.
 func (n *Node) CheckInvariants() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if err := n.lv.CheckInvariants(); err != nil {
-		return err
-	}
-	d := n.lv.Outdegree()
-	if d%2 != 0 || d < n.cfg.DL || d > n.cfg.S {
-		return fmt.Errorf("runtime: node %v outdegree %d violates Observation 5.1 (dL=%d, s=%d)", n.cfg.ID, d, n.cfg.DL, n.cfg.S)
+	if err := n.core.CheckView(n.lv); err != nil {
+		return fmt.Errorf("runtime: node %v: %w", n.cfg.ID, err)
 	}
 	return nil
 }

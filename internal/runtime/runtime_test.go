@@ -1,4 +1,4 @@
-package runtime
+package runtime_test
 
 import (
 	"fmt"
@@ -8,6 +8,9 @@ import (
 
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/protocol/shuffle"
+	"sendforget/internal/runtime"
 	"sendforget/internal/transport"
 )
 
@@ -27,29 +30,41 @@ func (r *recorder) Send(to peer.ID, msg protocol.Message) error {
 	return r.err
 }
 
+// sfCore builds a fresh S&F step core or fails the test.
+func sfCore(t *testing.T, s, dl int) *sendforget.Core {
+	t.Helper()
+	core, err := sendforget.NewCore(s, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+// sfFactory is the S&F core factory used by the cluster tests.
+func sfFactory(s, dl int) protocol.CoreFactory {
+	return func() (protocol.StepCore, error) { return sendforget.NewCore(s, dl) }
+}
+
 func TestNodeConfigValidation(t *testing.T) {
 	rec := &recorder{}
 	seeds := []peer.ID{1, 2}
-	if _, err := NewNode(NodeConfig{ID: 0, S: 7, DL: 0}, seeds, rec); err == nil {
-		t.Error("accepted odd s")
+	if _, err := runtime.NewNode(runtime.NodeConfig{ID: 0}, seeds, rec); err == nil {
+		t.Error("accepted nil core")
 	}
-	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 4}, seeds, rec); err == nil {
-		t.Error("accepted dL > s-6")
-	}
-	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 0}, seeds, nil); err == nil {
+	if _, err := runtime.NewNode(runtime.NodeConfig{ID: 0, Core: sfCore(t, 8, 0)}, seeds, nil); err == nil {
 		t.Error("accepted nil sender")
 	}
-	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 2}, []peer.ID{1}, rec); err == nil {
+	if _, err := runtime.NewNode(runtime.NodeConfig{ID: 0, Core: sfCore(t, 8, 2)}, []peer.ID{1}, rec); err == nil {
 		t.Error("accepted too few seeds")
 	}
-	if _, err := NewNode(NodeConfig{ID: 0, S: 8, DL: 2}, seeds, rec); err != nil {
+	if _, err := runtime.NewNode(runtime.NodeConfig{ID: 0, Core: sfCore(t, 8, 2)}, seeds, rec); err != nil {
 		t.Errorf("rejected valid config: %v", err)
 	}
 }
 
 func TestNodeTickSendsAndClears(t *testing.T) {
 	rec := &recorder{}
-	n, err := NewNode(NodeConfig{ID: 5, S: 6, DL: 0}, []peer.ID{1, 2, 3, 4}, rec)
+	n, err := runtime.NewNode(runtime.NodeConfig{ID: 5, Core: sfCore(t, 6, 0)}, []peer.ID{1, 2, 3, 4}, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +95,8 @@ func TestNodeTickSendsAndClears(t *testing.T) {
 
 func TestNodeHandleMessage(t *testing.T) {
 	rec := &recorder{}
-	n, err := NewNode(NodeConfig{ID: 0, S: 6, DL: 0}, []peer.ID{1, 2}, rec)
+	core := sfCore(t, 6, 0)
+	n, err := runtime.NewNode(runtime.NodeConfig{ID: 0, Core: core}, []peer.ID{1, 2}, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,23 +105,51 @@ func TestNodeHandleMessage(t *testing.T) {
 	if !v.Contains(3) || !v.Contains(4) {
 		t.Errorf("view %v missing delivered ids", v)
 	}
-	// Malformed messages are ignored.
+	// Malformed messages are ignored by the S&F core.
 	n.HandleMessage(protocol.Message{Kind: protocol.KindGossip, From: 3, IDs: []peer.ID{3}})
 	n.HandleMessage(protocol.Message{Kind: protocol.KindRequest, From: 3, IDs: []peer.ID{3, 4}})
 	if got := n.ViewSnapshot().Outdegree(); got != 4 {
 		t.Errorf("outdegree after malformed messages = %d, want 4", got)
 	}
-	// Full view: deletion.
+	// Full view: deletion, tallied by the caller-retained core.
 	n.HandleMessage(protocol.Message{Kind: protocol.KindGossip, From: 5, IDs: []peer.ID{5, 1}})
 	n.HandleMessage(protocol.Message{Kind: protocol.KindGossip, From: 6, IDs: []peer.ID{6, 1}})
-	if c := n.Counters(); c.Deletions != 1 {
-		t.Errorf("Deletions = %d, want 1", c.Deletions)
+	if got := core.Counters().Deletions; got != 1 {
+		t.Errorf("core Deletions = %d, want 1", got)
+	}
+	// The node counts every delivered datagram; the core decides which are
+	// protocol-meaningful.
+	if c := n.Counters(); c.Receives != 5 || c.Replies != 0 {
+		t.Errorf("node counters = %+v, want 5 receives and no replies", c)
+	}
+}
+
+func TestNodeRepliesOutsideLock(t *testing.T) {
+	// A request/reply core (shuffle) on the runtime node: the reply must be
+	// emitted through the sender and counted.
+	rec := &recorder{}
+	core, err := shuffle.NewCore(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := runtime.NewNode(runtime.NodeConfig{ID: 0, Core: core}, []peer.ID{1, 2, 3, 4}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.HandleMessage(protocol.Message{Kind: protocol.KindRequest, From: 7, IDs: []peer.ID{7, 9}})
+	if c := n.Counters(); c.Replies != 1 {
+		t.Fatalf("node counters = %+v, want 1 reply", c)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.msgs) != 1 || rec.msgs[0].Kind != protocol.KindReply || rec.tos[0] != 7 {
+		t.Errorf("reply = %+v to %v, want KindReply to 7", rec.msgs, rec.tos)
 	}
 }
 
 func TestNodeSendErrorCounted(t *testing.T) {
 	rec := &recorder{err: fmt.Errorf("boom")}
-	n, err := NewNode(NodeConfig{ID: 0, S: 6, DL: 0}, []peer.ID{1, 2, 3, 4}, rec)
+	n, err := runtime.NewNode(runtime.NodeConfig{ID: 0, Core: sfCore(t, 6, 0)}, []peer.ID{1, 2, 3, 4}, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +163,7 @@ func TestNodeSendErrorCounted(t *testing.T) {
 
 func TestNodeStartStopIdempotent(t *testing.T) {
 	rec := &recorder{}
-	n, err := NewNode(NodeConfig{ID: 0, S: 6, DL: 0, Period: time.Millisecond}, []peer.ID{1, 2}, rec)
+	n, err := runtime.NewNode(runtime.NodeConfig{ID: 0, Core: sfCore(t, 6, 0), Period: time.Millisecond}, []peer.ID{1, 2}, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,19 +178,22 @@ func TestNodeStartStopIdempotent(t *testing.T) {
 }
 
 func TestClusterValidation(t *testing.T) {
-	if _, err := NewCluster(ClusterConfig{N: 1, S: 8, DL: 0}); err == nil {
+	if _, err := runtime.NewCluster(runtime.ClusterConfig{N: 1, NewCore: sfFactory(8, 0)}); err == nil {
 		t.Error("accepted n=1")
 	}
-	if _, err := NewCluster(ClusterConfig{N: 4, S: 8, DL: 0, InitDegree: 4}); err == nil {
+	if _, err := runtime.NewCluster(runtime.ClusterConfig{N: 4, NewCore: sfFactory(8, 0), InitDegree: 4}); err == nil {
 		t.Error("accepted init degree >= n")
 	}
-	if _, err := NewCluster(ClusterConfig{N: 10, S: 8, DL: 0, Loss: 1.5}); err == nil {
+	if _, err := runtime.NewCluster(runtime.ClusterConfig{N: 10, NewCore: sfFactory(8, 0), Loss: 1.5}); err == nil {
 		t.Error("accepted loss > 1")
+	}
+	if _, err := runtime.NewCluster(runtime.ClusterConfig{N: 10}); err == nil {
+		t.Error("accepted nil core factory")
 	}
 }
 
 func TestClusterTickRounds(t *testing.T) {
-	c, err := NewCluster(ClusterConfig{N: 40, S: 12, DL: 4, Loss: 0.05, Seed: 7})
+	c, err := runtime.NewCluster(runtime.ClusterConfig{N: 40, NewCore: sfFactory(12, 4), Loss: 0.05, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,20 +210,23 @@ func TestClusterTickRounds(t *testing.T) {
 	if !g.WeaklyConnected() {
 		t.Errorf("cluster disconnected after 200 rounds: %d components", g.ComponentCount())
 	}
-	nc := c.Network().Counters()
-	if nc.Sent == 0 || nc.Lost == 0 || nc.Delivered == 0 {
-		t.Errorf("network counters = %+v", nc)
+	tr := c.Traffic()
+	if tr.Sends == 0 || tr.Losses == 0 || tr.Deliveries == 0 {
+		t.Errorf("traffic = %+v", tr)
 	}
-	lossRate := float64(nc.Lost) / float64(nc.Sent)
-	if lossRate < 0.02 || lossRate > 0.09 {
-		t.Errorf("empirical loss rate %v, want ~0.05", lossRate)
+	if tr.LossRate() < 0.02 || tr.LossRate() > 0.09 {
+		t.Errorf("empirical loss rate %v, want ~0.05", tr.LossRate())
+	}
+	nc := c.Counters()
+	if nc.Ticks == 0 || nc.Sends != tr.Sends || nc.Receives != tr.Deliveries {
+		t.Errorf("aggregate node counters %+v inconsistent with traffic %+v", nc, tr)
 	}
 }
 
 func TestClusterConcurrent(t *testing.T) {
 	// Real goroutines + timers: run briefly, then verify invariants. This
 	// is the race-detector workout for the lock discipline.
-	c, err := NewCluster(ClusterConfig{N: 20, S: 12, DL: 4, Loss: 0.02, Period: time.Millisecond, Seed: 8})
+	c, err := runtime.NewCluster(runtime.ClusterConfig{N: 20, NewCore: sfFactory(12, 4), Loss: 0.02, Period: time.Millisecond, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,17 +236,13 @@ func TestClusterConcurrent(t *testing.T) {
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	ticks := 0
-	for _, n := range c.Nodes() {
-		ticks += n.Counters().Ticks
-	}
-	if ticks < 20 {
+	if ticks := c.Counters().Ticks; ticks < 20 {
 		t.Errorf("only %d ticks across the cluster", ticks)
 	}
 }
 
 func TestClusterNodeDeparture(t *testing.T) {
-	c, err := NewCluster(ClusterConfig{N: 30, S: 12, DL: 4, Seed: 9})
+	c, err := runtime.NewCluster(runtime.ClusterConfig{N: 30, NewCore: sfFactory(12, 4), Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,17 +256,8 @@ func TestClusterNodeDeparture(t *testing.T) {
 			}
 		}
 	}
-	g := c.Snapshot()
 	// The departed id decays from the live views (Lemma 6.10). Its own
 	// view still lists peers but nobody routes to it.
-	live := 0
-	for u := 0; u < 30; u++ {
-		if u == 3 {
-			continue
-		}
-		live += g.Multiplicity(peer.ID(u), 3)
-	}
-	_ = live
 	instances := 0
 	for u, v := range c.Views() {
 		if u == 3 {
@@ -237,7 +274,7 @@ func TestNodesOverUDP(t *testing.T) {
 	// End-to-end: 6 S&F nodes on localhost UDP, full mesh directory,
 	// manual ticking (deterministic), real datagrams.
 	const n = 6
-	nodes := make([]*Node, n)
+	nodes := make([]*runtime.Node, n)
 	eps := make([]*transport.Endpoint, n)
 	for u := 0; u < n; u++ {
 		u := u
@@ -252,7 +289,7 @@ func TestNodesOverUDP(t *testing.T) {
 	}
 	for u := 0; u < n; u++ {
 		seeds := []peer.ID{peer.ID((u + 1) % n), peer.ID((u + 2) % n)}
-		node, err := NewNode(NodeConfig{ID: peer.ID(u), S: 8, DL: 2}, seeds, eps[u])
+		node, err := runtime.NewNode(runtime.NodeConfig{ID: peer.ID(u), Core: sfCore(t, 8, 2)}, seeds, eps[u])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +322,7 @@ func TestNodesOverUDP(t *testing.T) {
 }
 
 func TestClusterRemoveAddNode(t *testing.T) {
-	c, err := NewCluster(ClusterConfig{N: 30, S: 12, DL: 4, Seed: 31})
+	c, err := runtime.NewCluster(runtime.ClusterConfig{N: 30, NewCore: sfFactory(12, 4), Seed: 31})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +380,7 @@ func TestClusterRemoveAddNode(t *testing.T) {
 }
 
 func TestClusterAddNodeStarted(t *testing.T) {
-	c, err := NewCluster(ClusterConfig{N: 10, S: 8, DL: 2, Period: time.Millisecond, Seed: 32})
+	c, err := runtime.NewCluster(runtime.ClusterConfig{N: 10, NewCore: sfFactory(8, 2), Period: time.Millisecond, Seed: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,5 +396,65 @@ func TestClusterAddNodeStarted(t *testing.T) {
 	}
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestClusterChurnUnderLoss is the churn-and-loss workout: nodes join and
+// leave while the in-memory network drops a tenth of all messages, and the
+// protocol invariant must hold at every round boundary (Observation 5.1 is
+// loss- and churn-independent).
+func TestClusterChurnUnderLoss(t *testing.T) {
+	const n = 40
+	c, err := runtime.NewCluster(runtime.ClusterConfig{N: n, NewCore: sfFactory(12, 4), Loss: 0.1, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	departed := []peer.ID{7, 19, 33}
+	for round := 0; round < 600; round++ {
+		switch round {
+		case 100:
+			for _, u := range departed {
+				c.RemoveNode(u)
+			}
+		case 300:
+			// Rejoin node 7 seeded from a live node's view, per the paper's
+			// join rule (copy at least max(2, dL) live ids).
+			seeds := c.Nodes()[0].ViewSnapshot().IDs()
+			if err := c.AddNode(7, seeds, false); err != nil {
+				t.Fatalf("round %d: rejoin failed with seeds %v: %v", round, seeds, err)
+			}
+		}
+		c.TickRound()
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// The permanently departed ids drained from live views...
+	for _, u := range []peer.ID{19, 33} {
+		instances := 0
+		for w, v := range c.Views() {
+			if peer.ID(w) == u || v == nil {
+				continue
+			}
+			instances += v.Multiplicity(u)
+		}
+		if instances > 2 {
+			t.Errorf("departed id %v retains %d instances after 500 rounds", u, instances)
+		}
+	}
+	// ...the rejoined node reintegrated...
+	instances := 0
+	for w, v := range c.Views() {
+		if w == 7 || v == nil {
+			continue
+		}
+		instances += v.Multiplicity(7)
+	}
+	if instances == 0 {
+		t.Error("rejoined node 7 acquired no in-neighbors")
+	}
+	// ...and the live overlay stayed usable despite 10% loss.
+	if tr := c.Traffic(); tr.Losses == 0 || tr.LossRate() < 0.05 {
+		t.Errorf("traffic %+v does not reflect the configured loss", tr)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"sendforget/internal/metrics"
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/sendforget"
 	"sendforget/internal/runtime"
 	"sendforget/internal/transport"
 )
@@ -69,13 +70,24 @@ type Cluster struct {
 
 // NewCluster builds (but does not start) a cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	// Bootstrap outdegree midway between dL and s (even, >= 2) — the
+	// well-provisioned start the paper's analysis assumes.
+	d := (cfg.DL + cfg.S) / 2
+	if d%2 != 0 {
+		d--
+	}
+	if d < 2 {
+		d = 2
+	}
 	inner, err := runtime.NewCluster(runtime.ClusterConfig{
-		N:      cfg.N,
-		S:      cfg.S,
-		DL:     cfg.DL,
-		Loss:   cfg.Loss,
-		Period: cfg.GossipPeriod,
-		Seed:   cfg.Seed,
+		N: cfg.N,
+		NewCore: func() (protocol.StepCore, error) {
+			return sendforget.NewCore(cfg.S, cfg.DL)
+		},
+		InitDegree: d,
+		Loss:       cfg.Loss,
+		Period:     cfg.GossipPeriod,
+		Seed:       cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -212,10 +224,14 @@ func NewUDPNode(cfg NodeConfig) (*Node, error) {
 			return nil, err
 		}
 	}
+	core, err := sendforget.NewCore(cfg.S, cfg.DL)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
 	inner, err := runtime.NewNode(runtime.NodeConfig{
 		ID:     cfg.ID,
-		S:      cfg.S,
-		DL:     cfg.DL,
+		Core:   core,
 		Period: cfg.GossipPeriod,
 	}, cfg.Seeds, ep)
 	if err != nil {
