@@ -13,8 +13,10 @@
 package engine
 
 import (
+	"container/heap"
 	"fmt"
 
+	"sendforget/internal/faults"
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
 	"sendforget/internal/metrics"
@@ -24,13 +26,20 @@ import (
 	"sendforget/internal/view"
 )
 
-// Counters aggregates transport-level events across a run.
+// Counters aggregates transport-level events across a run, with the unified
+// cross-substrate semantics documented on metrics.Traffic: every emitted
+// message counts under Sends first and then lands in exactly one of Losses,
+// DeadLetters, or Deliveries (possibly after a stay in the delay queue).
 type Counters struct {
 	Steps       int // initiate steps executed
 	Sends       int // messages emitted (including replies)
-	Losses      int // messages dropped by the loss model
+	Losses      int // messages dropped by the fault layer (all conditions)
 	Deliveries  int // messages delivered to active nodes
 	DeadLetters int // messages addressed to departed nodes
+
+	LinkLosses     int // subset of Losses: per-link override models
+	PartitionDrops int // subset of Losses: active partitions
+	Delayed        int // messages that entered the delay queue
 }
 
 // LossRate returns the empirical loss fraction over all sends.
@@ -41,14 +50,47 @@ func (c Counters) LossRate() float64 {
 	return float64(c.Losses) / float64(c.Sends)
 }
 
+// delayed is one message held in the engine's delay queue.
+type delayed struct {
+	due int // round at which the message is deliverable
+	seq int // enqueue order, for deterministic equal-due drains
+	to  peer.ID
+	msg protocol.Message
+}
+
+// delayQueue is a min-heap on (due, seq).
+type delayQueue []delayed
+
+func (q delayQueue) Len() int { return len(q) }
+func (q delayQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q delayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *delayQueue) Push(x any)   { *q = append(*q, x.(delayed)) }
+func (q *delayQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
 // Engine drives one protocol instance. Not safe for concurrent use.
 type Engine struct {
 	proto    protocol.Protocol
-	loss     loss.Model
+	loss     loss.Model         // legacy direct loss path (nil cond)
+	cond     *faults.Conditions // fault-injection path (when non-nil)
 	r        *rng.RNG
 	active   []peer.ID // scheduling pool
 	idx      map[peer.ID]int
 	counters Counters
+
+	round   int // completed/current Round index, the delay-queue clock
+	seq     int
+	pending delayQueue
 
 	// OnStep, when non-nil, runs after every step with the step index.
 	// Metrics collectors hook here.
@@ -79,10 +121,30 @@ type ActionEvent struct {
 // New builds an engine over proto with the given loss model and randomness.
 // All nodes the protocol reports active join the scheduling pool.
 func New(proto protocol.Protocol, lm loss.Model, r *rng.RNG) (*Engine, error) {
-	if proto == nil || lm == nil || r == nil {
+	if lm == nil {
 		return nil, fmt.Errorf("engine: nil dependency")
 	}
-	e := &Engine{proto: proto, loss: lm, r: r, idx: make(map[peer.ID]int)}
+	return build(proto, lm, nil, r)
+}
+
+// NewWithConditions builds an engine whose transmissions pass through a
+// fault-injection stack (burst loss, per-link overrides, partitions, delay)
+// instead of a plain loss model — the same decision logic the in-memory
+// runtime network applies, so cross-substrate comparisons see identical
+// network behavior. The conditions instance must be dedicated to this
+// engine: stateful models advance on every decision.
+func NewWithConditions(proto protocol.Protocol, cond *faults.Conditions, r *rng.RNG) (*Engine, error) {
+	if cond == nil {
+		return nil, fmt.Errorf("engine: nil dependency")
+	}
+	return build(proto, nil, cond, r)
+}
+
+func build(proto protocol.Protocol, lm loss.Model, cond *faults.Conditions, r *rng.RNG) (*Engine, error) {
+	if proto == nil || r == nil {
+		return nil, fmt.Errorf("engine: nil dependency")
+	}
+	e := &Engine{proto: proto, loss: lm, cond: cond, r: r, idx: make(map[peer.ID]int)}
 	churner, isChurner := proto.(protocol.Churner)
 	for u := 0; u < proto.N(); u++ {
 		id := peer.ID(u)
@@ -96,6 +158,10 @@ func New(proto protocol.Protocol, lm loss.Model, r *rng.RNG) (*Engine, error) {
 	return e, nil
 }
 
+// Conditions returns the fault-injection stack, nil when the engine was
+// built over a plain loss model.
+func (e *Engine) Conditions() *faults.Conditions { return e.cond }
+
 // Protocol returns the driven protocol.
 func (e *Engine) Protocol() protocol.Protocol { return e.proto }
 
@@ -106,10 +172,13 @@ func (e *Engine) Counters() Counters { return e.counters }
 // shared with the concurrent runtime's Cluster.
 func (e *Engine) Traffic() metrics.Traffic {
 	return metrics.Traffic{
-		Sends:       e.counters.Sends,
-		Losses:      e.counters.Losses,
-		Deliveries:  e.counters.Deliveries,
-		DeadLetters: e.counters.DeadLetters,
+		Sends:          e.counters.Sends,
+		Losses:         e.counters.Losses,
+		Deliveries:     e.counters.Deliveries,
+		DeadLetters:    e.counters.DeadLetters,
+		LinkLosses:     e.counters.LinkLosses,
+		PartitionDrops: e.counters.PartitionDrops,
+		Delayed:        e.counters.Delayed,
 	}
 }
 
@@ -141,24 +210,46 @@ func (e *Engine) StepAt(u peer.ID) {
 	}
 }
 
-// transmit subjects msg to loss and delivers it, following reply chains
-// (each reply is again subject to loss). Destination-aware models
-// (loss.DestinationModel) receive the target so nonuniform loss can be
-// simulated.
+// transmit subjects msg to the fault layer and delivers it, following reply
+// chains (each reply is again subject to the fault layer). With a plain
+// loss model, destination-aware models (loss.DestinationModel) receive the
+// target so nonuniform loss can be simulated; with conditions, messages may
+// additionally be cut by partitions or parked in the delay queue until a
+// later round.
 func (e *Engine) transmit(to peer.ID, msg protocol.Message, ev *ActionEvent) {
-	destModel, destAware := e.loss.(loss.DestinationModel)
 	for {
 		e.counters.Sends++
-		lost := false
-		if destAware {
-			lost = destModel.LostTo(to, e.r)
+		if e.cond != nil {
+			v := e.cond.Decide(msg.From, to, e.r)
+			if v.Drop != faults.DropNone {
+				e.counters.Losses++
+				switch v.Drop {
+				case faults.DropLink:
+					e.counters.LinkLosses++
+				case faults.DropPartition:
+					e.counters.PartitionDrops++
+				}
+				ev.Lost = true
+				return
+			}
+			if v.Delay > 0 {
+				e.counters.Delayed++
+				e.seq++
+				heap.Push(&e.pending, delayed{due: e.round + v.Delay, seq: e.seq, to: to, msg: msg})
+				return
+			}
 		} else {
-			lost = e.loss.Lost(e.r)
-		}
-		if lost {
-			e.counters.Losses++
-			ev.Lost = true
-			return
+			lost := false
+			if destModel, destAware := e.loss.(loss.DestinationModel); destAware {
+				lost = destModel.LostTo(to, e.r)
+			} else {
+				lost = e.loss.Lost(e.r)
+			}
+			if lost {
+				e.counters.Losses++
+				ev.Lost = true
+				return
+			}
 		}
 		if _, isActive := e.idx[to]; !isActive {
 			// The destination left or failed: the message is silently
@@ -178,10 +269,50 @@ func (e *Engine) transmit(to peer.ID, msg protocol.Message, ev *ActionEvent) {
 	}
 }
 
-// Round executes one round: as many steps as there are active nodes.
+// Round executes one round: the delay queue delivers what came due, then as
+// many steps as there are active nodes run. Rounds are the delay-queue
+// clock; Step/StepAt called outside Round never advance it.
 func (e *Engine) Round() {
+	e.round++
+	e.drainDue()
 	for i, n := 0, len(e.active); i < n; i++ {
 		e.Step()
+	}
+}
+
+// PendingDelayed returns the number of messages parked in the delay queue.
+func (e *Engine) PendingDelayed() int { return len(e.pending) }
+
+// DrainDelayed advances the delay-queue clock without running any protocol
+// steps until the queue is empty, delivering everything in flight. Runs end
+// with it so the traffic identity Sends = Losses + Deliveries + DeadLetters
+// holds on the final counters. Replies generated by drained deliveries are
+// subject to the fault layer and may be re-delayed; the loop runs until
+// those settle too.
+func (e *Engine) DrainDelayed() {
+	for len(e.pending) > 0 {
+		e.round++
+		e.drainDue()
+	}
+}
+
+// drainDue delivers every delayed message due by the current round, in
+// (due, enqueue) order. Routing is resolved at drain time (a destination
+// that left while the message was in flight is a dead letter), and replies
+// re-enter transmit, so they face the fault layer like any send. OnAction
+// does not fire for these deliveries: they belong to no initiate step.
+func (e *Engine) drainDue() {
+	for len(e.pending) > 0 && e.pending[0].due <= e.round {
+		d := heap.Pop(&e.pending).(delayed)
+		var ev ActionEvent // counters only; not reported
+		if _, isActive := e.idx[d.to]; !isActive {
+			e.counters.DeadLetters++
+			continue
+		}
+		e.counters.Deliveries++
+		if reply, replyTo, hasReply := e.proto.Deliver(d.to, d.msg, e.r); hasReply {
+			e.transmit(replyTo, reply, &ev)
+		}
 	}
 }
 

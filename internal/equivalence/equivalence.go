@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"sendforget/internal/engine"
+	"sendforget/internal/faults"
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
 	"sendforget/internal/metrics"
@@ -34,8 +35,15 @@ type Config struct {
 	// N is the number of nodes, Rounds the number of gossip rounds (each
 	// round is one initiated action per node on both substrates).
 	N, Rounds int
-	// Loss is the uniform message loss rate applied on both substrates.
+	// Loss is the uniform message loss rate applied on both substrates,
+	// ignored when NewConditions is set.
 	Loss float64
+	// NewConditions, when non-nil, builds the fault-injection stack for
+	// one substrate. It is called once per substrate: stateful conditions
+	// (burst models, delay queues) must not be shared between the two
+	// runs, or the engine's draws would perturb the cluster's channel
+	// state and vice versa.
+	NewConditions func() (*faults.Conditions, error)
 	// Seed drives both substrates (with distinct derived streams).
 	Seed int64
 	// InitDegree is the circulant bootstrap outdegree. It must match the
@@ -79,31 +87,52 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("equivalence: both substrate constructors are required")
 	}
 
+	// newConditions builds one substrate's fault stack: the configured
+	// factory, or the paper's uniform loss from the plain rate.
+	newConditions := cfg.NewConditions
+	if newConditions == nil {
+		newConditions = func() (*faults.Conditions, error) {
+			lm, err := loss.NewUniform(cfg.Loss)
+			if err != nil {
+				return nil, err
+			}
+			return faults.New(lm)
+		}
+	}
+
 	// Sequential substrate.
 	proto, err := cfg.NewProtocol()
 	if err != nil {
 		return nil, fmt.Errorf("equivalence: engine protocol: %w", err)
 	}
-	lm, err := loss.NewUniform(cfg.Loss)
+	engCond, err := newConditions()
 	if err != nil {
 		return nil, err
 	}
-	e, err := engine.New(proto, lm, rng.New(cfg.Seed))
+	e, err := engine.NewWithConditions(proto, engCond, rng.New(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
 	e.Run(cfg.Rounds)
+	// Flush the delay queue (no further protocol steps) so the traffic
+	// identity Sends = Losses + Deliveries + DeadLetters holds on the
+	// final counters.
+	e.DrainDelayed()
 	engSub, err := summarize(cfg, e.Views(), e.Traffic())
 	if err != nil {
 		return nil, fmt.Errorf("equivalence: engine substrate: %w", err)
 	}
 
 	// Concurrent substrate, ticked manually for determinism.
+	clCond, err := newConditions()
+	if err != nil {
+		return nil, err
+	}
 	cl, err := runtime.NewCluster(runtime.ClusterConfig{
 		N:          cfg.N,
 		NewCore:    cfg.NewCore,
 		InitDegree: cfg.InitDegree,
-		Loss:       cfg.Loss,
+		Conditions: clCond,
 		Seed:       cfg.Seed + 1,
 	})
 	if err != nil {
@@ -111,6 +140,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i := 0; i < cfg.Rounds; i++ {
 		cl.TickRound()
+	}
+	for cl.Network().Pending() > 0 {
+		cl.Network().Advance()
 	}
 	if err := cl.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("equivalence: cluster substrate: %w", err)

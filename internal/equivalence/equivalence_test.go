@@ -3,6 +3,9 @@ package equivalence
 import (
 	"testing"
 
+	"sendforget/internal/faults"
+	"sendforget/internal/loss"
+	"sendforget/internal/metrics"
 	"sendforget/internal/protocol"
 	"sendforget/internal/protocol/flipper"
 	"sendforget/internal/protocol/pushpull"
@@ -207,4 +210,159 @@ func relDiff(a, b float64) float64 {
 		m = 1
 	}
 	return d / m
+}
+
+// TestTrafficExactEqualityLossless is the accounting half of Proposition
+// 5.2: with no faults configured, both substrates must produce *identical*
+// Traffic counters — not statistically close, equal. Push-pull with a full
+// bootstrap view is the vehicle: keep-on-send views never lose entries, so
+// with InitDegree == S no initiation ever self-loops and every substrate
+// sends exactly n messages per round regardless of scheduling.
+func TestTrafficExactEqualityLossless(t *testing.T) {
+	const (
+		n      = 40
+		s      = 10
+		rounds = 50
+	)
+	res, err := Run(Config{
+		N: n, Rounds: rounds, Loss: 0, Seed: 7, InitDegree: s,
+		NewProtocol: func() (protocol.Protocol, error) {
+			return pushpull.New(pushpull.Config{N: n, S: s, InitDegree: s})
+		},
+		NewCore: func() (protocol.StepCore, error) { return pushpull.NewCore(s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.Traffic != res.Cluster.Traffic {
+		t.Errorf("lossless traffic differs across substrates:\n engine  %+v\n cluster %+v",
+			res.Engine.Traffic, res.Cluster.Traffic)
+	}
+	want := n * rounds
+	if res.Engine.Traffic.Sends != want {
+		t.Errorf("engine sends = %d, want exactly n*rounds = %d", res.Engine.Traffic.Sends, want)
+	}
+	for _, sub := range []struct {
+		name string
+		tr   metrics.Traffic
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+		if sub.tr.Losses != 0 || sub.tr.DeadLetters != 0 || sub.tr.Delayed != 0 {
+			t.Errorf("%s: lossless run had losses/dead letters/delays: %+v", sub.name, sub.tr)
+		}
+		if sub.tr.Deliveries != sub.tr.Sends {
+			t.Errorf("%s: deliveries %d != sends %d at loss 0", sub.name, sub.tr.Deliveries, sub.tr.Sends)
+		}
+	}
+}
+
+// TestTrafficConservationIdentity checks, for a protocol whose send count is
+// schedule-dependent (S&F self-loops on empty slots), that each substrate
+// still satisfies the exact conservation identity and that the two agree on
+// volume within scheduling noise.
+func TestTrafficConservationIdentity(t *testing.T) {
+	const n = 60
+	res, err := Run(Config{
+		N: n, Rounds: 150, Loss: 0, Seed: 11, InitDegree: 8,
+		NewProtocol: func() (protocol.Protocol, error) {
+			return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: 8})
+		},
+		NewCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name string
+		tr   metrics.Traffic
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+		if sub.tr.Sends != sub.tr.Losses+sub.tr.Deliveries+sub.tr.DeadLetters {
+			t.Errorf("%s: conservation identity violated: %+v", sub.name, sub.tr)
+		}
+		if sub.tr.Losses != 0 || sub.tr.DeadLetters != 0 {
+			t.Errorf("%s: lossless full-membership run lost messages: %+v", sub.name, sub.tr)
+		}
+	}
+	e, c := float64(res.Engine.Traffic.Sends), float64(res.Cluster.Traffic.Sends)
+	if diff := (e - c) / e; diff > 0.1 || diff < -0.1 {
+		t.Errorf("send volumes diverge beyond scheduling noise: engine %v cluster %v", e, c)
+	}
+}
+
+// TestTrafficUnderBurstLoss reruns the S&F comparison under Gilbert-Elliott
+// burst loss injected through Config.NewConditions: the identity must stay
+// exact per substrate, and both observed loss rates must sit near the
+// model's stationary rate.
+func TestTrafficUnderBurstLoss(t *testing.T) {
+	const (
+		n    = 60
+		rate = 0.2
+	)
+	res, err := Run(Config{
+		N: n, Rounds: 150, Seed: 19, InitDegree: 8,
+		NewConditions: func() (*faults.Conditions, error) {
+			gem, err := loss.BurstyWithRate(rate, 4)
+			if err != nil {
+				return nil, err
+			}
+			return faults.New(gem)
+		},
+		NewProtocol: func() (protocol.Protocol, error) {
+			return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: 8})
+		},
+		NewCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name string
+		tr   metrics.Traffic
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+		if sub.tr.Sends != sub.tr.Losses+sub.tr.Deliveries+sub.tr.DeadLetters {
+			t.Errorf("%s: conservation identity violated under burst loss: %+v", sub.name, sub.tr)
+		}
+		got := float64(sub.tr.Losses) / float64(sub.tr.Sends)
+		if got < rate-0.06 || got > rate+0.06 {
+			t.Errorf("%s: observed loss rate %.3f far from stationary rate %.2f", sub.name, got, rate)
+		}
+	}
+	el := float64(res.Engine.Traffic.Losses) / float64(res.Engine.Traffic.Sends)
+	cl := float64(res.Cluster.Traffic.Losses) / float64(res.Cluster.Traffic.Sends)
+	if d := el - cl; d > 0.05 || d < -0.05 {
+		t.Errorf("substrates disagree on burst loss rate: engine %.3f cluster %.3f", el, cl)
+	}
+}
+
+// TestTrafficUnderDelay checks that jittered delivery delay keeps the
+// conservation identity exact after the harness drains both delay queues.
+func TestTrafficUnderDelay(t *testing.T) {
+	const n = 40
+	res, err := Run(Config{
+		N: n, Rounds: 80, Seed: 23, InitDegree: 8,
+		NewConditions: func() (*faults.Conditions, error) {
+			cond := faults.Lossless()
+			if err := cond.SetDelay(faults.Delay{Fixed: 1, Jitter: 2}); err != nil {
+				return nil, err
+			}
+			return cond, nil
+		},
+		NewProtocol: func() (protocol.Protocol, error) {
+			return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: 8})
+		},
+		NewCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name string
+		tr   metrics.Traffic
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+		if sub.tr.Delayed == 0 {
+			t.Errorf("%s: delay of 1..3 rounds delayed nothing", sub.name)
+		}
+		if sub.tr.Sends != sub.tr.Losses+sub.tr.Deliveries+sub.tr.DeadLetters {
+			t.Errorf("%s: conservation identity violated after drain: %+v", sub.name, sub.tr)
+		}
+	}
 }

@@ -343,8 +343,8 @@ func TestAblationDLSmall(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("registry has %d ids, want 20: %v", len(ids), ids)
+	if len(ids) != 21 {
+		t.Fatalf("registry has %d ids, want 21: %v", len(ids), ids)
 	}
 	if _, err := Run("no-such-id"); err == nil {
 		t.Error("Run accepted unknown id")
@@ -594,5 +594,43 @@ func TestRW1Small(t *testing.T) {
 	// Exponential decay: k=8 rate well below k=2 rate.
 	if r2, r8 := parse(tab.Rows[0][1]), parse(tab.Rows[1][1]); r8 >= r2 {
 		t.Errorf("success rate did not decay with walk length: %v -> %v", r2, r8)
+	}
+}
+
+func TestLossStressSmall(t *testing.T) {
+	p := LossStressParams{N: 40, S: 12, DL: 4, InitDegree: 6, Rounds: 60, LeaveAt: 15, FaultAt: 20, HealAt: 40, Rate: 0.05, Seed: 9}
+	r, err := LossStress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("tables = %d, want traffic + overlay", len(r.Tables))
+	}
+	traffic := r.Tables[0]
+	if len(traffic.Rows) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(traffic.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range traffic.Rows {
+		byName[row[0]] = row
+	}
+	if row := byName["partition-heal"]; row[4] == "0" {
+		t.Error("partition scenario counted no partition drops")
+	}
+	if row := byName["delay-jitter"]; row[5] == "0" {
+		t.Error("delay scenario delayed nothing")
+	}
+	if row := byName["uniform"]; row[4] != "0" || row[5] != "0" {
+		t.Errorf("uniform scenario has fault-specific drops: %v", row)
+	}
+	// Determinism: same params, identical rendered report.
+	r2, err := LossStress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Tables {
+		if r.Tables[i].String() != r2.Tables[i].String() {
+			t.Errorf("table %d not deterministic:\n%s\nvs\n%s", i, r.Tables[i].String(), r2.Tables[i].String())
+		}
 	}
 }

@@ -25,26 +25,27 @@ func Registry() map[string]Runner {
 
 func buildRegistry() {
 	registry.m = map[string]Runner{
-		"fig6.1":  func() (*Report, error) { return Fig61(Fig61Params{}) },
-		"fig6.2":  func() (*Report, error) { return Fig62(Fig62Params{}) },
-		"tab6.3":  func() (*Report, error) { return Tab63(Tab63Params{}) },
-		"fig6.3":  func() (*Report, error) { return Fig63(Fig63Params{}) },
-		"fig6.4":  func() (*Report, error) { return Fig64(Fig64Params{}) },
-		"cor6.14": func() (*Report, error) { return Cor614(Cor614Params{}) },
-		"lem6.6":  func() (*Report, error) { return Lem66(Lem66Params{}) },
-		"lem7.5":  func() (*Report, error) { return Lem75(Lem75Params{}) },
-		"lem7.6":  func() (*Report, error) { return Lem76(Lem76Params{}) },
-		"lem7.8":  func() (*Report, error) { return Lem78(Lem78Params{}) },
-		"lem7.9":  func() (*Report, error) { return Lem79(Lem79Params{}) },
-		"tab7.4":  func() (*Report, error) { return Tab74(Tab74Params{}) },
-		"lem7.15": func() (*Report, error) { return Lem715(Lem715Params{}) },
-		"base1":   func() (*Report, error) { return Baselines(BaselinesParams{}) },
-		"rw1":     func() (*Report, error) { return RW1(RW1Params{}) },
-		"churn1":  func() (*Report, error) { return Churn1(ChurnParams{}) },
-		"abl1":    func() (*Report, error) { return AblationBurst(AblationBurstParams{}) },
-		"abl2":    func() (*Report, error) { return AblationDL(AblationDLParams{}) },
-		"abl3":    func() (*Report, error) { return AblationOpt(AblationOptParams{}) },
-		"abl4":    func() (*Report, error) { return AblationNonuniform(AblationNonuniformParams{}) },
+		"fig6.1":      func() (*Report, error) { return Fig61(Fig61Params{}) },
+		"fig6.2":      func() (*Report, error) { return Fig62(Fig62Params{}) },
+		"tab6.3":      func() (*Report, error) { return Tab63(Tab63Params{}) },
+		"fig6.3":      func() (*Report, error) { return Fig63(Fig63Params{}) },
+		"fig6.4":      func() (*Report, error) { return Fig64(Fig64Params{}) },
+		"cor6.14":     func() (*Report, error) { return Cor614(Cor614Params{}) },
+		"lem6.6":      func() (*Report, error) { return Lem66(Lem66Params{}) },
+		"lem7.5":      func() (*Report, error) { return Lem75(Lem75Params{}) },
+		"lem7.6":      func() (*Report, error) { return Lem76(Lem76Params{}) },
+		"lem7.8":      func() (*Report, error) { return Lem78(Lem78Params{}) },
+		"lem7.9":      func() (*Report, error) { return Lem79(Lem79Params{}) },
+		"tab7.4":      func() (*Report, error) { return Tab74(Tab74Params{}) },
+		"lem7.15":     func() (*Report, error) { return Lem715(Lem715Params{}) },
+		"base1":       func() (*Report, error) { return Baselines(BaselinesParams{}) },
+		"rw1":         func() (*Report, error) { return RW1(RW1Params{}) },
+		"churn1":      func() (*Report, error) { return Churn1(ChurnParams{}) },
+		"abl1":        func() (*Report, error) { return AblationBurst(AblationBurstParams{}) },
+		"abl2":        func() (*Report, error) { return AblationDL(AblationDLParams{}) },
+		"abl3":        func() (*Report, error) { return AblationOpt(AblationOptParams{}) },
+		"abl4":        func() (*Report, error) { return AblationNonuniform(AblationNonuniformParams{}) },
+		"loss-stress": func() (*Report, error) { return LossStress(LossStressParams{}) },
 	}
 	registry.ids = make([]string, 0, len(registry.m))
 	for id := range registry.m {

@@ -17,16 +17,35 @@ import (
 // shape: the sequential engine and the concurrent runtime cluster both
 // report their counters through it, so experiments can compare loss behavior
 // across substrates without caring which one produced the numbers.
+//
+// The counting semantics are identical on every substrate: Sends counts
+// every attempted transmission, incremented before the fault layer, routing,
+// or marshalling rules on the message; each attempt then lands in exactly
+// one of Losses (dropped by the fault layer), DeadLetters (survived the
+// fault layer but unroutable), or Deliveries (handed to a receive step) —
+// immediately, or after a stay in the delay queue. So once the delay queue
+// is drained, Sends = Losses + Deliveries + DeadLetters holds exactly.
 type Traffic struct {
-	// Sends counts messages emitted (including replies of request/reply
-	// protocols).
+	// Sends counts attempted transmissions (including replies of
+	// request/reply protocols), before loss, routing, or marshalling.
 	Sends int
-	// Losses counts messages dropped by the loss model.
+	// Losses counts messages dropped by the fault layer: the base loss
+	// model plus the per-link and partition conditions broken out below.
 	Losses int
 	// Deliveries counts messages handed to a live node's receive step.
 	Deliveries int
 	// DeadLetters counts messages addressed to departed or unroutable nodes.
 	DeadLetters int
+
+	// LinkLosses is the subset of Losses dropped by per-link override
+	// models (faults.Conditions.SetLinkLoss).
+	LinkLosses int
+	// PartitionDrops is the subset of Losses dropped by an active
+	// partition (faults.Conditions.Partition).
+	PartitionDrops int
+	// Delayed counts messages routed through the delay queue; they are
+	// additionally counted under Deliveries or DeadLetters when drained.
+	Delayed int
 }
 
 // LossRate returns the empirical loss fraction over all sends.

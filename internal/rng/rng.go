@@ -47,6 +47,26 @@ func New(seed int64) *RNG {
 	return r
 }
 
+// DeriveSeed hashes the parts into a well-mixed seed via SplitMix64. Callers
+// that spawn one stream per entity (the cluster's per-node RNGs, keyed by
+// cluster seed, node id, and incarnation) use it instead of additive
+// arithmetic like seed+id+constant, whose streams collide whenever two
+// derivations sum to the same value. The result is never 0 so it survives
+// "0 means derive a default" conventions.
+func DeriveSeed(parts ...int64) int64 {
+	// Each part both perturbs and advances the SplitMix64 state, so
+	// (a, b) and (b, a) — and any equal-sum combination — hash differently.
+	h := uint64(0x6a09e667f3bcc909)
+	for _, p := range parts {
+		h ^= uint64(p)
+		h = splitMix64(&h)
+	}
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return int64(h)
+}
+
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).
 func (r *RNG) Uint64() uint64 {
 	s := &r.s

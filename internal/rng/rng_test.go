@@ -288,3 +288,28 @@ func TestGoldenVectors(t *testing.T) {
 		}
 	}
 }
+
+func TestDeriveSeed(t *testing.T) {
+	// The motivating collisions of the additive scheme: a rejoining node's
+	// stream (cluster seed, u, incarnation 1) must not equal any node's
+	// initial stream, and equal-sum part combinations must differ.
+	seen := make(map[int64][]int64)
+	for u := int64(0); u < 2000; u++ {
+		for inc := int64(0); inc < 3; inc++ {
+			s := DeriveSeed(1, u, inc)
+			if s == 0 {
+				t.Fatalf("DeriveSeed(1, %d, %d) = 0", u, inc)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("DeriveSeed collision: (1, %d, %d) and %v", u, inc, prev)
+			}
+			seen[s] = []int64{1, u, inc}
+		}
+	}
+	if DeriveSeed(1, 2) == DeriveSeed(2, 1) {
+		t.Error("DeriveSeed is order-insensitive")
+	}
+	if DeriveSeed(1, 2) != DeriveSeed(1, 2) {
+		t.Error("DeriveSeed is not deterministic")
+	}
+}

@@ -2,8 +2,10 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"sendforget/internal/faults"
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
 	"sendforget/internal/metrics"
@@ -24,21 +26,41 @@ type ClusterConfig struct {
 	// InitDegree is the circulant bootstrap outdegree (0 selects an even
 	// value of about half the core's view size).
 	InitDegree int
-	// Loss is the uniform message loss rate of the in-memory network.
+	// Loss is the uniform message loss rate of the in-memory network,
+	// ignored when Conditions is set.
 	Loss float64
+	// Conditions, when non-nil, is the fault-injection stack the network
+	// consults instead of plain uniform loss: burst models, per-link
+	// overrides, partitions, and delivery delay. The instance must be
+	// dedicated to this cluster (stateful models would otherwise
+	// interleave streams across runs).
+	Conditions *faults.Conditions
 	// Period is each node's gossip period (for Start; TickRound works
 	// without timers). Defaults to 10ms for fast examples.
 	Period time.Duration
-	// Seed drives the network loss and per-node RNGs.
+	// Seed drives the network fault decisions and per-node RNGs.
 	Seed int64
 }
 
 // Cluster is a set of concurrently running protocol nodes wired through an
 // in-memory lossy network.
+//
+// The node slice is guarded by an RWMutex so churn (RemoveNode/AddNode) is
+// safe while other goroutines snapshot views, tick rounds, or sum counters:
+// readers copy the slice under the read lock and operate on the copy, so a
+// node removed mid-iteration is at worst ticked one extra time — which is
+// harmless (it only gossips into a network that no longer routes to it) —
+// and never a data race.
 type Cluster struct {
-	cfg   ClusterConfig
-	net   *transport.Network
-	nodes []*Node
+	cfg ClusterConfig
+	net *transport.Network
+
+	mu           sync.RWMutex
+	nodes        []*Node
+	incarnations []int
+
+	drainStop chan struct{}
+	drainWG   sync.WaitGroup
 }
 
 // NewCluster wires up the nodes with the circulant bootstrap topology.
@@ -78,15 +100,26 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.InitDegree >= cfg.N || cfg.InitDegree < 1 {
 		return nil, fmt.Errorf("runtime: init degree %d must be in [1, n-1] for n=%d", cfg.InitDegree, cfg.N)
 	}
-	lm, err := loss.NewUniform(cfg.Loss)
+	cond := cfg.Conditions
+	if cond == nil {
+		lm, err := loss.NewUniform(cfg.Loss)
+		if err != nil {
+			return nil, err
+		}
+		if cond, err = faults.New(lm); err != nil {
+			return nil, err
+		}
+	}
+	nw, err := transport.NewNetworkWithConditions(cond, rng.New(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
-	nw, err := transport.NewNetwork(lm, rng.New(cfg.Seed))
-	if err != nil {
-		return nil, err
+	c := &Cluster{
+		cfg:          cfg,
+		net:          nw,
+		nodes:        make([]*Node, cfg.N),
+		incarnations: make([]int, cfg.N),
 	}
-	c := &Cluster{cfg: cfg, net: nw, nodes: make([]*Node, cfg.N)}
 	for u := 0; u < cfg.N; u++ {
 		core, err := cfg.NewCore()
 		if err != nil {
@@ -100,7 +133,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			ID:     peer.ID(u),
 			Core:   core,
 			Period: cfg.Period,
-			Seed:   cfg.Seed + int64(u) + 1,
+			Seed:   c.seedFor(peer.ID(u), 0),
 		}, seeds, nw)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: node %d: %w", u, err)
@@ -111,34 +144,89 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// Nodes returns the cluster's nodes.
-func (c *Cluster) Nodes() []*Node { return c.nodes }
+// seedFor derives node u's RNG seed for its incarnation-th activation. A
+// splitmix-style hash keeps the streams collision-free: the old additive
+// scheme (Seed+u+1 initially, Seed+u+7919 on rejoin) made a rejoining node
+// reuse the initial stream of node u+7918 in large clusters.
+func (c *Cluster) seedFor(u peer.ID, incarnation int) int64 {
+	return rng.DeriveSeed(c.cfg.Seed, int64(u), int64(incarnation))
+}
+
+// nodesSnapshot copies the node slice under the read lock. Iterating the
+// copy keeps long operations (ticking a round, snapshotting views) off the
+// lock so churn never waits behind them.
+func (c *Cluster) nodesSnapshot() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// Nodes returns a snapshot of the cluster's node slice (nil entries for
+// departed nodes). The copy is the caller's to keep; it does not observe
+// later churn.
+func (c *Cluster) Nodes() []*Node { return c.nodesSnapshot() }
 
 // Network returns the underlying in-memory network.
 func (c *Cluster) Network() *transport.Network { return c.net }
 
-// Start launches every node's gossip loop.
+// Conditions returns the network's fault-injection stack for mid-run
+// reconfiguration (partitions, link overrides).
+func (c *Cluster) Conditions() *faults.Conditions { return c.net.Conditions() }
+
+// Start launches every node's gossip loop plus a drain timer that advances
+// the network's delay queue once per period.
 func (c *Cluster) Start() {
-	for _, n := range c.nodes {
+	c.mu.Lock()
+	if c.drainStop == nil {
+		c.drainStop = make(chan struct{})
+		c.drainWG.Add(1)
+		go func(stop chan struct{}) {
+			defer c.drainWG.Done()
+			ticker := time.NewTicker(c.cfg.Period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					c.net.Advance()
+				}
+			}
+		}(c.drainStop)
+	}
+	c.mu.Unlock()
+	for _, n := range c.nodesSnapshot() {
 		if n != nil {
 			n.Start()
 		}
 	}
 }
 
-// Stop terminates every node.
+// Stop terminates every node and the drain timer.
 func (c *Cluster) Stop() {
-	for _, n := range c.nodes {
+	for _, n := range c.nodesSnapshot() {
 		if n != nil {
 			n.Stop()
 		}
 	}
+	c.mu.Lock()
+	stop := c.drainStop
+	c.drainStop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		c.drainWG.Wait()
+	}
 }
 
-// TickRound drives one synchronous round — every live node initiates once —
-// for deterministic tests and examples that do not want wall-clock timers.
+// TickRound drives one synchronous round — the network delivers the delayed
+// messages that came due, then every live node initiates once — for
+// deterministic tests and examples that do not want wall-clock timers.
 func (c *Cluster) TickRound() {
-	for _, n := range c.nodes {
+	c.net.Advance()
+	for _, n := range c.nodesSnapshot() {
 		if n != nil {
 			n.Tick()
 		}
@@ -147,8 +235,9 @@ func (c *Cluster) TickRound() {
 
 // Views snapshots all node views (nil entries for departed nodes).
 func (c *Cluster) Views() []*view.View {
-	out := make([]*view.View, len(c.nodes))
-	for i, n := range c.nodes {
+	nodes := c.nodesSnapshot()
+	out := make([]*view.View, len(nodes))
+	for i, n := range nodes {
 		if n != nil {
 			out[i] = n.ViewSnapshot()
 		}
@@ -164,7 +253,7 @@ func (c *Cluster) Snapshot() *graph.Graph {
 // Counters sums the per-node counters over all live nodes.
 func (c *Cluster) Counters() NodeCounters {
 	var sum NodeCounters
-	for _, n := range c.nodes {
+	for _, n := range c.nodesSnapshot() {
 		if n == nil {
 			continue
 		}
@@ -181,21 +270,25 @@ func (c *Cluster) Counters() NodeCounters {
 }
 
 // Traffic reports the network counters in the substrate-neutral shape
-// shared with the sequential engine.
+// shared with the sequential engine (see metrics.Traffic for the unified
+// counting semantics).
 func (c *Cluster) Traffic() metrics.Traffic {
 	nc := c.net.Counters()
 	return metrics.Traffic{
-		Sends:       nc.Sent,
-		Losses:      nc.Lost,
-		Deliveries:  nc.Delivered,
-		DeadLetters: nc.NoRoute,
+		Sends:          nc.Sent,
+		Losses:         nc.Lost,
+		Deliveries:     nc.Delivered,
+		DeadLetters:    nc.NoRoute,
+		LinkLosses:     nc.LinkLost,
+		PartitionDrops: nc.PartitionDropped,
+		Delayed:        nc.Delayed,
 	}
 }
 
 // CheckInvariants validates the protocol's per-view invariant (Observation
 // 5.1 for S&F) on every node.
 func (c *Cluster) CheckInvariants() error {
-	for _, n := range c.nodes {
+	for _, n := range c.nodesSnapshot() {
 		if n == nil {
 			continue
 		}
@@ -208,41 +301,57 @@ func (c *Cluster) CheckInvariants() error {
 
 // RemoveNode makes node u leave the cluster: its gossip loop stops and it
 // drops off the network, exactly the paper's leave semantics (no protocol
-// action). Its id decays from the other views per Lemma 6.10. Idempotent.
+// action). Its id decays from the other views per Lemma 6.10. Idempotent,
+// and safe to call while the cluster is running.
 func (c *Cluster) RemoveNode(u peer.ID) {
+	c.mu.Lock()
 	if int(u) < 0 || int(u) >= len(c.nodes) || c.nodes[u] == nil {
+		c.mu.Unlock()
 		return
 	}
-	c.nodes[u].Stop()
-	c.net.Register(u, nil)
+	node := c.nodes[u]
 	c.nodes[u] = nil
+	c.mu.Unlock()
+	// Unregister and stop outside the cluster lock: Stop waits for an
+	// in-flight Tick, which may be blocked in a receive handler.
+	c.net.Register(u, nil)
+	node.Stop()
 }
 
 // AddNode (re)activates node u with the given seed ids (at least
 // max(2, dL), per the paper's join rule) and starts its gossip loop when
-// the cluster is running; callers driving TickRound manually simply include
-// it in subsequent rounds.
+// start is set; callers driving TickRound manually simply include it in
+// subsequent rounds. Each activation gets a fresh RNG stream derived from
+// (cluster seed, id, incarnation). Safe to call while the cluster is
+// running.
 func (c *Cluster) AddNode(u peer.ID, seeds []peer.ID, start bool) error {
+	c.mu.Lock()
 	if int(u) < 0 || int(u) >= len(c.nodes) {
+		c.mu.Unlock()
 		return fmt.Errorf("runtime: node id %v outside cluster universe", u)
 	}
 	if c.nodes[u] != nil {
+		c.mu.Unlock()
 		return fmt.Errorf("runtime: node %v is already active", u)
 	}
 	core, err := c.cfg.NewCore()
 	if err != nil {
+		c.mu.Unlock()
 		return fmt.Errorf("runtime: core for node %v: %w", u, err)
 	}
+	c.incarnations[u]++
 	node, err := NewNode(NodeConfig{
 		ID:     u,
 		Core:   core,
 		Period: c.cfg.Period,
-		Seed:   c.cfg.Seed + int64(u) + 7919, // distinct stream on rejoin
+		Seed:   c.seedFor(u, c.incarnations[u]),
 	}, seeds, c.net)
 	if err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	c.nodes[u] = node
+	c.mu.Unlock()
 	c.net.Register(u, node.HandleMessage)
 	if start {
 		node.Start()

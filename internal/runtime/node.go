@@ -96,7 +96,9 @@ func NewNode(cfg NodeConfig, seeds []peer.ID, out Sender) (*Node, error) {
 		cfg.Period = 100 * time.Millisecond
 	}
 	if cfg.Seed == 0 {
-		cfg.Seed = int64(cfg.ID) + 1
+		// Hash rather than ID+1: the additive fallback collided with
+		// explicitly chosen small seeds on other nodes.
+		cfg.Seed = rng.DeriveSeed(int64(cfg.ID))
 	}
 	lv, err := cfg.Core.SeedView(seeds)
 	if err != nil {

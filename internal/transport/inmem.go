@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"container/heap"
 	"fmt"
 	"sync"
 
+	"sendforget/internal/faults"
 	"sendforget/internal/loss"
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
@@ -11,35 +13,106 @@ import (
 )
 
 // Handler consumes a delivered message at a node. Handlers run on the
-// sender's goroutine and must not block.
+// sender's goroutine (or the drain goroutine for delayed messages) and must
+// not block.
 type Handler func(msg protocol.Message)
 
-// Counters aggregates network-level events.
+// Counters aggregates network-level events. The semantics are the unified
+// cross-substrate ones documented on metrics.Traffic: Sent counts every
+// attempted transmission, incremented before the fault layer, routing, or
+// marshalling rules on the message; each attempt then lands in exactly one
+// of Lost, NoRoute, or Delivered (for delayed messages, when the delay queue
+// drains). Endpoint shares the type; its fault-layer fields stay zero.
 type Counters struct {
-	Sent      int
-	Lost      int
+	// Sent counts attempted transmissions.
+	Sent int
+	// Lost counts messages dropped by the fault layer (base loss model,
+	// per-link overrides, and partitions together).
+	Lost int
+	// Delivered counts messages handed to a receive handler.
 	Delivered int
-	NoRoute   int
+	// NoRoute counts messages with no registered handler or directory
+	// entry at delivery time.
+	NoRoute int
+	// LinkLost is the subset of Lost dropped by per-link overrides.
+	LinkLost int
+	// PartitionDropped is the subset of Lost dropped by a partition.
+	PartitionDropped int
+	// Delayed counts messages that entered the delay queue.
+	Delayed int
 }
 
-// Network is an in-memory lossy datagram network for the concurrent
-// runtime: every Send independently passes the loss model, then the
-// receiver's handler runs synchronously. Safe for concurrent use.
+// delayed is one message held in the delay queue.
+type delayed struct {
+	due int // tick at which the message is deliverable
+	seq int // enqueue order, to make equal-due drains deterministic
+	to  peer.ID
+	msg protocol.Message
+}
+
+// delayQueue is a min-heap on (due, seq).
+type delayQueue []delayed
+
+func (q delayQueue) Len() int { return len(q) }
+func (q delayQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q delayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *delayQueue) Push(x any)   { *q = append(*q, x.(delayed)) }
+func (q *delayQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Network is an in-memory datagram network for the concurrent runtime:
+// every Send consults the fault-injection conditions (loss, partitions,
+// delay), then the receiver's handler runs synchronously — or, for delayed
+// messages, when Advance drains the delay queue. Safe for concurrent use.
 type Network struct {
 	mu       sync.Mutex
-	lm       loss.Model
+	cond     *faults.Conditions
 	r        *rng.RNG
 	handlers map[peer.ID]Handler
 	counters Counters
+	tick     int
+	seq      int
+	pending  delayQueue
 }
 
-// NewNetwork builds a network with the given loss model and randomness.
+// NewNetwork builds a network dropping messages per the given loss model —
+// the paper's uniform-loss shape, layered as the base model of a fresh
+// condition stack.
 func NewNetwork(lm loss.Model, r *rng.RNG) (*Network, error) {
-	if lm == nil || r == nil {
+	if lm == nil {
+		return nil, fmt.Errorf("transport: nil loss model")
+	}
+	cond, err := faults.New(lm)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetworkWithConditions(cond, r)
+}
+
+// NewNetworkWithConditions builds a network over an externally owned
+// condition stack, for burst-loss, partition, and delay scenarios. The
+// conditions instance must not be shared with another substrate's run
+// (stateful models would interleave their state).
+func NewNetworkWithConditions(cond *faults.Conditions, r *rng.RNG) (*Network, error) {
+	if cond == nil || r == nil {
 		return nil, fmt.Errorf("transport: nil dependency")
 	}
-	return &Network{lm: lm, r: r, handlers: make(map[peer.ID]Handler)}, nil
+	return &Network{cond: cond, r: r, handlers: make(map[peer.ID]Handler)}, nil
 }
+
+// Conditions returns the network's fault-injection stack, for dynamic
+// reconfiguration (partition, heal, link overrides) mid-run.
+func (nw *Network) Conditions() *faults.Conditions { return nw.cond }
 
 // Register attaches a node's receive handler. Re-registering replaces the
 // previous handler; a nil handler detaches the node (messages to it are
@@ -54,16 +127,31 @@ func (nw *Network) Register(id peer.ID, h Handler) {
 	nw.handlers[id] = h
 }
 
-// Send transmits msg to the node registered as to. The loss decision and
+// Send transmits msg to the node registered as to. The fault decision and
 // handler lookup are serialized; the handler itself runs outside the
-// network lock (it takes the receiving node's own lock). The error is
-// always nil; the signature matches the UDP endpoint so the runtime can
-// treat both uniformly.
+// network lock (it takes the receiving node's own lock). Messages assigned
+// a delivery delay enter the delay queue and surface on a later Advance.
+// The error is always nil; the signature matches the UDP endpoint so the
+// runtime can treat both uniformly.
 func (nw *Network) Send(to peer.ID, msg protocol.Message) error {
 	nw.mu.Lock()
 	nw.counters.Sent++
-	if nw.lm.Lost(nw.r) {
+	v := nw.cond.Decide(msg.From, to, nw.r)
+	if v.Drop != faults.DropNone {
 		nw.counters.Lost++
+		switch v.Drop {
+		case faults.DropLink:
+			nw.counters.LinkLost++
+		case faults.DropPartition:
+			nw.counters.PartitionDropped++
+		}
+		nw.mu.Unlock()
+		return nil
+	}
+	if v.Delay > 0 {
+		nw.counters.Delayed++
+		nw.seq++
+		heap.Push(&nw.pending, delayed{due: nw.tick + v.Delay, seq: nw.seq, to: to, msg: msg})
 		nw.mu.Unlock()
 		return nil
 	}
@@ -77,6 +165,45 @@ func (nw *Network) Send(to peer.ID, msg protocol.Message) error {
 	nw.mu.Unlock()
 	h(msg)
 	return nil
+}
+
+// Advance moves the network clock one tick and delivers every delayed
+// message that came due, in (due, enqueue) order. The cluster calls it at
+// each round boundary (manual ticking) or from a drain timer (Start mode);
+// routing is resolved at drain time, so a message to a node that departed
+// while in flight counts as NoRoute. Handlers run outside the lock.
+func (nw *Network) Advance() {
+	nw.mu.Lock()
+	nw.tick++
+	var due []delayed
+	for len(nw.pending) > 0 && nw.pending[0].due <= nw.tick {
+		due = append(due, heap.Pop(&nw.pending).(delayed))
+	}
+	type delivery struct {
+		h   Handler
+		msg protocol.Message
+	}
+	deliveries := make([]delivery, 0, len(due))
+	for _, d := range due {
+		h, ok := nw.handlers[d.to]
+		if !ok {
+			nw.counters.NoRoute++
+			continue
+		}
+		nw.counters.Delivered++
+		deliveries = append(deliveries, delivery{h: h, msg: d.msg})
+	}
+	nw.mu.Unlock()
+	for _, d := range deliveries {
+		d.h(d.msg)
+	}
+}
+
+// Pending returns the number of messages waiting in the delay queue.
+func (nw *Network) Pending() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return len(nw.pending)
 }
 
 // Counters returns a snapshot of the counters.

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"sendforget/internal/faults"
 	"sendforget/internal/loss"
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
@@ -405,5 +406,294 @@ func TestEnableAddressLearningValidation(t *testing.T) {
 	}
 	if err := ep.EnableAddressLearning(0, "not:an:addr:x"); err == nil {
 		t.Error("accepted invalid advertise address")
+	}
+}
+
+func TestUDPRelearnAfterRejoin(t *testing.T) {
+	// A node that leaves and rejoins from a new port must have its
+	// directory entry refreshed at peers when its datagrams arrive from the
+	// new source address. Before learn() distinguished authoritative
+	// source addresses, the stale entry stuck forever and every reply went
+	// to the dead port.
+	chB := make(chan protocol.Message, 16)
+	b, err := NewEndpoint("127.0.0.1:0", func(m protocol.Message) { chB <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.EnableAddressLearning(1, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	chA1 := make(chan protocol.Message, 16)
+	a1, err := NewEndpoint("127.0.0.1:0", func(m protocol.Message) { chA1 <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.EnableAddressLearning(0, a1.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.AddPeer(1, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Send(1, protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("B never heard A's first incarnation")
+	}
+	if b.LearnedPeers() != 1 || b.RefreshedPeers() != 0 {
+		t.Fatalf("after first contact: learned=%d refreshed=%d, want 1/0", b.LearnedPeers(), b.RefreshedPeers())
+	}
+	oldAddr := a1.Addr().String()
+	if err := a1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rejoin on a fresh port (guaranteed different from oldAddr since the
+	// old socket's port can't be reused while we hold the new one first).
+	chA2 := make(chan protocol.Message, 16)
+	a2, err := NewEndpoint("127.0.0.1:0", func(m protocol.Message) { chA2 <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.Addr().String() == oldAddr {
+		t.Skipf("OS reassigned the same ephemeral port %s; cannot exercise relearn", oldAddr)
+	}
+	if err := a2.EnableAddressLearning(0, a2.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.AddPeer(1, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Send(1, protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("B never heard A's second incarnation")
+	}
+	if b.RefreshedPeers() != 1 {
+		t.Fatalf("refreshed=%d, want 1 (stale directory entry not rewritten)", b.RefreshedPeers())
+	}
+	// B can reach the rejoined A at its new address.
+	if err := b.Send(0, protocol.Message{Kind: protocol.KindGossip, From: 1, IDs: []peer.ID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-chA2:
+		if m.From != 1 {
+			t.Errorf("rejoined A received %+v, want from n1", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("B still routed to the dead port after rejoin")
+	}
+}
+
+func TestUDPTrailerCannotClobberFreshEntry(t *testing.T) {
+	// Trailer addresses are second-hand gossip: they may insert unknown
+	// peers but must never overwrite an existing entry. Otherwise one stale
+	// trailer would undo a refresh learned from a live source address.
+	chB := make(chan protocol.Message, 16)
+	b, err := NewEndpoint("127.0.0.1:0", func(m protocol.Message) { chB <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.EnableAddressLearning(1, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	chA := make(chan protocol.Message, 16)
+	a, err := NewEndpoint("127.0.0.1:0", func(m protocol.Message) { chA <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.EnableAddressLearning(0, a.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer(1, b.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	// B learns A's address from the datagram source.
+	if err := a.Send(1, protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("B never heard A")
+	}
+	// A gossips a bogus trailer address for itself; the fresh source-learned
+	// entry must survive.
+	if err := a.AddPeer(0, "127.0.0.1:1"); err == nil {
+		// AddPeer for self may be rejected; the trailer path below is what
+		// matters either way.
+		_ = err
+	}
+	if err := a.Send(1, protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("B never heard A's second gossip")
+	}
+	// B can still reach A: the entry points at the live source address.
+	if err := b.Send(0, protocol.Message{Kind: protocol.KindGossip, From: 1, IDs: []peer.ID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chA:
+	case <-time.After(2 * time.Second):
+		t.Fatal("B lost A's address to a stale trailer")
+	}
+}
+
+func TestNetworkSentAccountingUnified(t *testing.T) {
+	// Every attempt increments Sent and lands in exactly one of Lost,
+	// NoRoute, Delivered — including unroutable and dropped sends.
+	lm, err := loss.NewUniform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(lm, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	nw.Register(1, func(protocol.Message) { got++ })
+	msg := protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0}}
+	nw.Send(1, msg) // delivered
+	nw.Send(9, msg) // no route
+	nw.Conditions().Partition([]peer.ID{0}, []peer.ID{1})
+	nw.Send(1, msg) // partition drop
+	nw.Conditions().Heal()
+	c := nw.Counters()
+	if c.Sent != 3 {
+		t.Errorf("Sent = %d, want 3 (every attempt counted)", c.Sent)
+	}
+	if c.Sent != c.Lost+c.Delivered+c.NoRoute {
+		t.Errorf("counter identity violated: %+v", c)
+	}
+	if c.PartitionDropped != 1 || c.Lost != 1 || c.NoRoute != 1 || c.Delivered != 1 || got != 1 {
+		t.Errorf("counters = %+v (handled %d), want one of each", c, got)
+	}
+}
+
+func TestNetworkLinkOverride(t *testing.T) {
+	lm, err := loss.NewUniform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(lm, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(1, func(protocol.Message) {})
+	nw.Register(2, func(protocol.Message) {})
+	always, err := loss.NewUniform(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Conditions().SetLinkLoss(0, 1, always)
+	msg := protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0}}
+	for i := 0; i < 10; i++ {
+		nw.Send(1, msg)
+		nw.Send(2, msg)
+	}
+	c := nw.Counters()
+	if c.LinkLost != 10 || c.Lost != 10 {
+		t.Errorf("link 0->1 should drop all 10: %+v", c)
+	}
+	if c.Delivered != 10 {
+		t.Errorf("link 0->2 should deliver all 10: %+v", c)
+	}
+}
+
+func TestNetworkDelayAndReorder(t *testing.T) {
+	// Jittered delay reorders messages; Advance drains in (due, enqueue)
+	// order and the counter identity holds once the queue is empty.
+	lm, err := loss.NewUniform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(lm, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Conditions().SetDelay(faults.Delay{Fixed: 1, Jitter: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []peer.ID
+	nw.Register(1, func(m protocol.Message) {
+		mu.Lock()
+		order = append(order, m.From)
+		mu.Unlock()
+	})
+	const total = 40
+	for i := 0; i < total; i++ {
+		nw.Send(1, protocol.Message{Kind: protocol.KindGossip, From: peer.ID(i), IDs: []peer.ID{peer.ID(i)}})
+	}
+	if c := nw.Counters(); c.Delayed != total || c.Delivered != 0 {
+		t.Fatalf("before drain: %+v, want all %d delayed", c, total)
+	}
+	if nw.Pending() != total {
+		t.Fatalf("pending = %d, want %d", nw.Pending(), total)
+	}
+	for i := 0; i < 8 && nw.Pending() > 0; i++ {
+		nw.Advance()
+	}
+	c := nw.Counters()
+	if nw.Pending() != 0 || c.Delivered != total {
+		t.Fatalf("after drain: pending=%d counters=%+v", nw.Pending(), c)
+	}
+	if c.Sent != c.Lost+c.Delivered+c.NoRoute {
+		t.Errorf("counter identity violated after drain: %+v", c)
+	}
+	reordered := false
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("jitter 3 over 40 sends produced no reordering (suspicious for this seed)")
+	}
+}
+
+func TestNetworkDelayedToDepartedIsDeadLetter(t *testing.T) {
+	// Routing resolves at drain time: a message delayed toward a node that
+	// deregistered while it was in flight counts as NoRoute, keeping the
+	// identity exact.
+	lm, err := loss.NewUniform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(lm, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Conditions().SetDelay(faults.Delay{Fixed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(1, func(protocol.Message) { t.Error("delivered to departed node") })
+	nw.Send(1, protocol.Message{Kind: protocol.KindGossip, From: 0, IDs: []peer.ID{0}})
+	nw.Register(1, nil) // node departs while the message is in flight
+	for i := 0; i < 4; i++ {
+		nw.Advance()
+	}
+	c := nw.Counters()
+	if c.NoRoute != 1 || c.Delivered != 0 || nw.Pending() != 0 {
+		t.Errorf("counters = %+v pending=%d, want the delayed message dead-lettered", c, nw.Pending())
+	}
+	if c.Sent != c.Lost+c.Delivered+c.NoRoute {
+		t.Errorf("counter identity violated: %+v", c)
 	}
 }

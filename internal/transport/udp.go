@@ -25,6 +25,7 @@ type Endpoint struct {
 	advertise  string // non-empty enables addressed (v2) gossip
 	selfID     peer.ID
 	learned    int
+	refreshed  int
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -101,6 +102,15 @@ func (ep *Endpoint) LearnedPeers() int {
 	return ep.learned
 }
 
+// RefreshedPeers returns how many directory entries were rewritten because a
+// datagram's source address disagreed with the stored one (a peer that
+// rejoined on a new port).
+func (ep *Endpoint) RefreshedPeers() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.refreshed
+}
+
 // KnownPeers returns the number of directory entries.
 func (ep *Endpoint) KnownPeers() int {
 	ep.mu.Lock()
@@ -112,8 +122,13 @@ func (ep *Endpoint) KnownPeers() int {
 // unknown destination counts as unroutable (the datagram is dropped, as a
 // real network would for a departed node). With address learning enabled,
 // the datagram carries the directory's best-known address per id.
+//
+// Sent counts every attempt — before marshalling and the route lookup — the
+// unified semantics shared with the in-memory Network and documented on
+// Counters, so metrics.Traffic is comparable across substrates.
 func (ep *Endpoint) Send(to peer.ID, msg protocol.Message) error {
 	ep.mu.Lock()
+	ep.counters.Sent++
 	var payload []byte
 	var err error
 	if ep.advertise != "" {
@@ -142,7 +157,6 @@ func (ep *Endpoint) Send(to peer.ID, msg protocol.Message) error {
 		ep.mu.Unlock()
 		return nil
 	}
-	ep.counters.Sent++
 	ep.mu.Unlock()
 	_, err = ep.conn.WriteToUDP(payload, addr)
 	if err != nil && !errors.Is(err, net.ErrClosed) {
@@ -204,15 +218,18 @@ func (ep *Endpoint) receiveLoop() {
 		ep.mu.Lock()
 		ep.counters.Delivered++
 		if ep.advertise != "" {
-			// Learn the sender's address from the datagram source and the
-			// payload ids' addresses from the trailer.
-			ep.learn(msg.From, src)
+			// Learn the sender's address from the datagram source (which is
+			// authoritative: the peer demonstrably sends from there, so a
+			// disagreeing stored entry is stale and gets refreshed) and the
+			// payload ids' addresses from the trailer (second-hand gossip:
+			// insert-only, so a stale trailer cannot clobber a fresh entry).
+			ep.learn(msg.From, src, true)
 			for i, a := range addrs {
 				if a == "" || i >= len(msg.IDs) {
 					continue
 				}
 				if ua, err := net.ResolveUDPAddr("udp", a); err == nil {
-					ep.learn(msg.IDs[i], ua)
+					ep.learn(msg.IDs[i], ua, false)
 				}
 			}
 		}
@@ -221,14 +238,22 @@ func (ep *Endpoint) receiveLoop() {
 	}
 }
 
-// learn inserts a directory entry if absent. Callers hold ep.mu.
-func (ep *Endpoint) learn(id peer.ID, addr *net.UDPAddr) {
+// learn inserts a directory entry if absent; when authoritative, it also
+// refreshes an existing entry that disagrees with addr, so a node that
+// rejoins on a new port becomes reachable again instead of being stuck
+// behind its pre-departure address forever. Callers hold ep.mu.
+func (ep *Endpoint) learn(id peer.ID, addr *net.UDPAddr, authoritative bool) {
 	if id == ep.selfID || addr == nil {
 		return
 	}
-	if _, known := ep.peers[id]; known {
+	old, known := ep.peers[id]
+	if !known {
+		ep.peers[id] = addr
+		ep.learned++
 		return
 	}
-	ep.peers[id] = addr
-	ep.learned++
+	if authoritative && (!old.IP.Equal(addr.IP) || old.Port != addr.Port || old.Zone != addr.Zone) {
+		ep.peers[id] = addr
+		ep.refreshed++
+	}
 }
