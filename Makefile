@@ -1,0 +1,17 @@
+# The vet target is the one CI runs (.github/workflows/ci.yml); keep the
+# two command lines identical so contributors reproduce CI findings exactly.
+
+.PHONY: build test race vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+	go run ./cmd/sfvet ./...

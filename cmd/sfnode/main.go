@@ -32,6 +32,7 @@ import (
 	"sendforget/internal/protocol/sendforget"
 	"sendforget/internal/protocol/sfopt"
 	"sendforget/internal/protocol/shuffle"
+	"sendforget/internal/rng"
 	"sendforget/internal/runtime"
 	"sendforget/internal/transport"
 )
@@ -70,6 +71,7 @@ func run(args []string) int {
 	period := fs.Duration("period", 250*time.Millisecond, "gossip period")
 	report := fs.Duration("report", 2*time.Second, "view report interval")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = run until signal)")
+	seedFlag := fs.Int64("seed", 0, "node RNG seed (0 draws one from OS entropy)")
 	advertise := fs.String("advertise", "", "address peers should learn for this node (default: the bound listen address)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -112,15 +114,26 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	// A production node wants unpredictable partner choices per process;
+	// a fixed -seed reproduces a run exactly (pair it with -period for a
+	// deterministic single-node trace). Either way the seed is printed so
+	// any run can be replayed.
+	seed := *seedFlag
+	if seed == 0 {
+		if seed, err = rng.AutoSeed(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	n, err := runtime.NewNode(runtime.NodeConfig{
-		ID: peer.ID(*id), Core: core, Period: *period,
+		ID: peer.ID(*id), Core: core, Period: *period, Seed: seed,
 	}, seeds, ep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	node.Store(n)
-	fmt.Printf("node n%d [%s] listening on %s (s=%d dL=%d period=%s)\n", *id, core.Name(), ep.Addr(), *s, *dl, *period)
+	fmt.Printf("node n%d [%s] listening on %s (s=%d dL=%d period=%s seed=%d)\n", *id, core.Name(), ep.Addr(), *s, *dl, *period, seed)
 	n.Start()
 	defer n.Stop()
 

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("sfvet -list: exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"detrand", "seedflow", "lockdiscipline", "counterbalance", "maporder"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("sfvet -list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("sfvet -only nosuch: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errOut.String())
+	}
+}
+
+func TestSingleAnalyzerOverOnePackage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "detrand", "./internal/rng/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("sfvet -only detrand ./internal/rng/...: exit %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+}
+
+// TestWholeRepoIsClean is the CLI-level form of the suite's acceptance
+// criterion: zero diagnostics over every package, exit status 0.
+func TestWholeRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("sfvet ./...: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("sfvet ./... printed diagnostics despite exit 0:\n%s", out.String())
+	}
+}

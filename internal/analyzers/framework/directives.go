@@ -1,0 +1,77 @@
+package framework
+
+import (
+	"strings"
+)
+
+// allowKey identifies one (file, line, analyzer) suppression grant.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans a package's comments for //lint:allow directives. A
+// directive grants suppression on its own line and on the line directly
+// below it, so both trailing-comment and preceding-comment styles work:
+//
+//	import "math/rand" //lint:allow detrand cross-validation only
+//
+//	//lint:allow detrand cross-validation only
+//	import "math/rand"
+func collectAllows(pkg *Package) map[allowKey]bool {
+	allows := make(map[allowKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range names {
+					allows[allowKey{pos.Filename, pos.Line, name}] = true
+					allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// parseAllow extracts the analyzer names from one comment's text, or
+// reports that the comment is not an allow directive. The expected shape is
+// `//lint:allow name[,name...] [free-text reason]`.
+func parseAllow(text string) ([]string, bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	if rest == "" {
+		return nil, false
+	}
+	namesField := strings.Fields(rest)[0]
+	var names []string
+	for _, n := range strings.Split(namesField, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// suppressAllowed drops diagnostics covered by an allow directive.
+func suppressAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allows := collectAllows(pkg)
+	if len(allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,108 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API shape: named Analyzers run over
+// type-checked packages and report position-tagged diagnostics.
+//
+// The repository vendors no third-party modules, so the x/tools analysis
+// driver is not available; this package provides the slice of it that
+// cmd/sfvet and the internal/analyzers suite need:
+//
+//   - Analyzer / Pass / Diagnostic types mirroring go/analysis,
+//   - a Loader that type-checks packages through `go list -export`
+//     export data (see driver.go), and
+//   - an analysistest-style fixture runner keyed on `// want "regexp"`
+//     comments (see atest.go).
+//
+// Suppression: a source line carrying (or directly following) a comment of
+// the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// is exempt from diagnostics of the named analyzers. The directive is
+// deliberately loud — it marks a reviewed exception to a repo invariant and
+// should carry a reason.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. It must be a single lowercase word.
+	Name string
+	// Doc states the invariant the analyzer enforces and why.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies every analyzer to pkg, filters the findings through
+// the package's //lint:allow directives, and returns them in file/line
+// order. Analyzer runtime errors (not diagnostics) are returned as err.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	diags = suppressAllowed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,332 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sendforget/internal/analyzers/framework"
+)
+
+// Lockdiscipline forbids transport sends, channel operations, and known
+// blocking calls on paths that hold a sync.Mutex or sync.RWMutex. This is
+// the "replies are sent outside the node lock" rule PR 2 established for
+// the concurrent runtime: a node that sends while holding its own lock can
+// deadlock against a peer doing the same (each send runs the receiver's
+// handler, which takes the receiver's lock), and a blocking call under a
+// node or cluster mutex stalls every goroutine that gossips through it.
+//
+// The check is an intraprocedural approximation, deliberately conservative:
+//
+//   - Lock/RLock on any mutex-typed value marks its receiver path held;
+//     Unlock/RUnlock releases it. A deferred Unlock holds the mutex for the
+//     remainder of the function body, which matches its runtime semantics.
+//   - Branch bodies (if/for/switch/select) are analyzed with a copy of the
+//     held set, so an early `mu.Unlock(); return` branch does not leak a
+//     release into the fall-through path.
+//   - Function literals are analyzed with an empty held set: a spawned
+//     goroutine does not inherit the spawner's critical section.
+//
+// While any mutex is held, the analyzer flags: calls to methods named Send
+// (the transport.Network / transport.Endpoint / runtime.Sender surface),
+// channel sends and receives, selects without a default, time.Sleep,
+// sync.WaitGroup.Wait, and sync.Cond.Wait.
+//
+// Suite history: the suite's first full-repo run confirmed internal/runtime
+// and internal/transport already honor the discipline (node.Tick and
+// node.HandleMessage stage messages under the lock and send after
+// releasing it); this analyzer is what makes that convention load-bearing.
+var Lockdiscipline = &framework.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no transport sends, channel ops, or blocking calls while holding a mutex",
+	Run:  runLockdiscipline,
+}
+
+func runLockdiscipline(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					w := &lockWalker{pass: pass}
+					w.stmts(n.Body.List, lockSet{})
+				}
+				return false // the walker descends itself, including into FuncLits
+			case *ast.FuncLit:
+				// Top-level function literals (package var initializers).
+				w := &lockWalker{pass: pass}
+				w.stmts(n.Body.List, lockSet{})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockSet tracks held mutexes by the printed path of their receiver
+// expression ("n.mu", "c.mu") mapped to the Lock call position.
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// heldNames returns the held receiver paths, sorted for stable diagnostics.
+func (s lockSet) heldNames() string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// lockWalker performs the statement-ordered traversal of one function body.
+type lockWalker struct {
+	pass *framework.Pass
+}
+
+// stmts processes a statement list in order, mutating held in place; the
+// caller passes a copy when the list is a branch body.
+func (w *lockWalker) stmts(list []ast.Stmt, held lockSet) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := w.mutexOp(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := w.mutexOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Deferred release: the mutex stays held until return, which the
+			// held set already models; nothing to do.
+			return
+		}
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs outside this critical section.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, lockSet{})
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(s.Pos(), "channel send while holding %s: stage the value and send after unlocking", held.heldNames())
+		}
+		w.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, inner)
+		}
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			w.pass.Reportf(s.Pos(), "blocking select while holding %s", held.heldNames())
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// expr scans an expression for violations under the current held set.
+func (w *lockWalker) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, lockSet{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.pass.Reportf(n.Pos(), "channel receive while holding %s", held.heldNames())
+			}
+		case *ast.CallExpr:
+			if len(held) == 0 {
+				return true
+			}
+			if name, ok := w.violatingCall(n); ok {
+				w.pass.Reportf(n.Pos(), "call to %s while holding %s: release the lock (or stage the message) first", name, held.heldNames())
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether e is a Lock/RLock/Unlock/RUnlock method call on a
+// sync.Mutex or sync.RWMutex, returning the receiver path and method name.
+func (w *lockWalker) mutexOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, found := w.pass.TypesInfo.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	if !isSyncMutex(selection.Recv()) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isSyncMutex reports whether t (possibly behind a pointer) is sync.Mutex
+// or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// violatingCall classifies a call that must not run under a lock, returning
+// a display name for the diagnostic.
+func (w *lockWalker) violatingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Method dispatch (concrete or interface).
+	if selection, found := w.pass.TypesInfo.Selections[sel]; found {
+		name := sel.Sel.Name
+		if name == "Send" {
+			return types.ExprString(sel.X) + ".Send", true
+		}
+		if name == "Wait" {
+			recv := selection.Recv()
+			if p, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+				recv = p.Elem()
+			}
+			if named, isNamed := recv.(*types.Named); isNamed {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+					(obj.Name() == "WaitGroup" || obj.Name() == "Cond") {
+					return "sync." + obj.Name() + ".Wait", true
+				}
+			}
+		}
+		return "", false
+	}
+	// Package-level functions.
+	if fn, isFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFn && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	}
+	return "", false
+}
+
+// selectHasDefault reports whether a select statement has a default clause.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sendforget/internal/analyzers/framework"
+)
+
+// Seedflow requires RNG seeds to be produced by rng.DeriveSeed, never by
+// arithmetic on other seeds. Additive or multiplicative derivations
+// (seed+id, seed+index+1, seed+id*7919...) produce colliding streams
+// whenever two derivations land on the same value — the exact bug class
+// fixed in PR 3, where the cluster's Seed+u+1 / Seed+u+7919 scheme made a
+// rejoining node replay the initial stream of node u+7918, silently
+// correlating "independent" experiment arms. DeriveSeed hashes every part
+// through SplitMix64, so distinct part tuples give decorrelated streams.
+//
+// Flagged shapes:
+//   - any integer arithmetic whose operands mention a seed-named variable
+//     or field (seed, Seed, *Seed suffix),
+//   - rng.New called on an arithmetic expression,
+//   - a Seed struct field or seed-named variable assigned from an
+//     arithmetic expression.
+//
+// internal/rng itself is exempt: it is the sanctioned mixer, and its
+// SplitMix64 internals are exactly the arithmetic this analyzer bans
+// elsewhere.
+//
+// Violations found and fixed when the analyzer landed: the per-point
+// engine seeds in internal/experiments (ablations2, baselines, churnexp,
+// fig6, randomwalk, sec65, sec7 — all p.Seed+int64(i) shapes) and the
+// paired-substrate seed split in internal/equivalence (cfg.Seed+1).
+var Seedflow = &framework.Analyzer{
+	Name: "seedflow",
+	Doc:  "RNG seeds must come from rng.DeriveSeed, never from arithmetic on other seeds",
+	Run:  runSeedflow,
+}
+
+// seedflowOps are the arithmetic operators that can alias streams.
+var seedflowOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.XOR: true, token.OR: true, token.AND: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+}
+
+func runSeedflow(pass *framework.Pass) error {
+	if pass.Pkg.Path() == "sendforget/internal/rng" {
+		return nil
+	}
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if seedflowOps[n.Op] && (mentionsSeed(pass, n.X) || mentionsSeed(pass, n.Y)) {
+					report(n.Pos(),
+						"seed derived by arithmetic (%s): use rng.DeriveSeed so streams cannot collide", n.Op)
+				}
+			case *ast.CallExpr:
+				if isRngNew(pass, n) && len(n.Args) == 1 {
+					if arg, ok := n.Args[0].(*ast.BinaryExpr); ok && seedflowOps[arg.Op] {
+						report(arg.Pos(),
+							"rng.New seeded with an arithmetic expression: use rng.DeriveSeed so streams cannot collide")
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && isSeedName(key.Name) {
+					if v, ok := n.Value.(*ast.BinaryExpr); ok && seedflowOps[v.Op] {
+						report(v.Pos(),
+							"field %s set from an arithmetic expression: use rng.DeriveSeed so streams cannot collide", key.Name)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if !isSeedNamedExpr(lhs) {
+						continue
+					}
+					if v, ok := n.Rhs[i].(*ast.BinaryExpr); ok && seedflowOps[v.Op] {
+						report(v.Pos(),
+							"seed variable assigned from an arithmetic expression: use rng.DeriveSeed so streams cannot collide")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSeedName reports whether an identifier names a seed: "seed", "Seed", or
+// a camel-case *Seed/*seed suffix (nodeSeed, clusterSeed). Plural "seeds"
+// (bootstrap id lists) deliberately does not match.
+func isSeedName(name string) bool {
+	return name == "seed" || name == "Seed" ||
+		strings.HasSuffix(name, "Seed") || strings.HasSuffix(name, "seed")
+}
+
+// isSeedNamedExpr reports whether the expression is a seed-named variable
+// or field reference.
+func isSeedNamedExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return isSeedName(e.Name)
+	case *ast.SelectorExpr:
+		return isSeedName(e.Sel.Name)
+	}
+	return false
+}
+
+// mentionsSeed reports whether the expression contains an integer-typed
+// seed-named leaf.
+func mentionsSeed(p *framework.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		default:
+			return true
+		}
+		if !isSeedName(name) {
+			return true
+		}
+		if t := p.TypesInfo.TypeOf(n.(ast.Expr)); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isRngNew reports whether the call is sendforget/internal/rng.New.
+func isRngNew(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "New" && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "sendforget/internal/rng"
+}

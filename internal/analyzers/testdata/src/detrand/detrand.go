@@ -1,0 +1,37 @@
+// Package detrand exercises the detrand analyzer: ambient randomness and
+// wall-clock reads are forbidden in deterministic packages, and the
+// //lint:allow escape hatch must suppress a flagged line.
+package detrand
+
+import (
+	crand "crypto/rand"   // want `import of crypto/rand \(nondeterministic entropy\)`
+	"math/rand"           // want `import of math/rand \(unseeded ambient randomness\)`
+	randv2 "math/rand/v2" // want `import of math/rand/v2 \(unseeded ambient randomness\)`
+	"time"
+)
+
+// The imports themselves are the violations; uses are not re-flagged.
+func draw() int        { return rand.Int() }
+func drawV2() int      { return randv2.Int() }
+func entropy(b []byte) { crand.Read(b) }
+
+func stamp() time.Time { return time.Now() } // want `call to time.Now in deterministic package detrand`
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since in deterministic package detrand`
+}
+
+func deadlineIn(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `call to time.Until in deterministic package detrand`
+}
+
+// Duration arithmetic and timers stay legal: they pace wall-clock execution
+// but do not feed protocol decisions.
+func pace() *time.Ticker { return time.NewTicker(250 * time.Millisecond) }
+
+// The sanctioned escape: an audited entropy read behind //lint:allow, the
+// same mechanism rng.AutoSeed uses.
+func auditedStamp() time.Time {
+	//lint:allow detrand fixture models the audited entropy escape
+	return time.Now()
+}

@@ -1,0 +1,101 @@
+// Package maporder exercises the maporder analyzer: map iteration order
+// must not reach ordered output without a sort re-establishing canonical
+// order.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out in map-iteration order`
+	}
+	return out
+}
+
+// The sorted-keys idiom: the append is forgiven because the slice is sorted
+// before it is consumed.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortIDs is a domain sorter like peer.Sort; calling it bare (same-package)
+// must count as a sort.
+func SortIDs(ids []int) { sort.Ints(ids) }
+
+func keysDomainSorted(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	SortIDs(out)
+	return out
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside a map range`
+	}
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation in map-iteration order`
+	}
+	return sum
+}
+
+// Integer accumulation is associative and therefore order-free.
+func intSum(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func feed(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send in map-iteration order`
+	}
+}
+
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func fill(t *table, m map[string]string) {
+	for k, v := range m {
+		t.AddRow(k, v) // want `AddRow call in map-iteration order`
+	}
+}
+
+// Accumulating into order-free targets (other maps, sets) is fine.
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// The escape hatch: drawing an arbitrary element where order is
+// deliberately irrelevant.
+func anyKey(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//lint:allow maporder sampling one arbitrary element
+		out = append(out, k)
+		break
+	}
+	return out
+}

@@ -133,7 +133,7 @@ func Run(cfg Config) (*Result, error) {
 		NewCore:    cfg.NewCore,
 		InitDegree: cfg.InitDegree,
 		Conditions: clCond,
-		Seed:       cfg.Seed + 1,
+		Seed:       rng.DeriveSeed(cfg.Seed, 1),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("equivalence: cluster: %w", err)

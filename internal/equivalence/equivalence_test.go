@@ -282,9 +282,15 @@ func TestTrafficConservationIdentity(t *testing.T) {
 			t.Errorf("%s: lossless full-membership run lost messages: %+v", sub.name, sub.tr)
 		}
 	}
+	// The volumes differ systematically, not just by noise: the cluster
+	// ticks every node exactly once per round while the engine schedules n
+	// uniformly random actions (with replacement), which shifts how often a
+	// node initiates on an empty view and self-loops instead of sending.
+	// Across seeds the cluster sends ~6-18% more; the band covers that
+	// offset plus seed noise.
 	e, c := float64(res.Engine.Traffic.Sends), float64(res.Cluster.Traffic.Sends)
-	if diff := (e - c) / e; diff > 0.1 || diff < -0.1 {
-		t.Errorf("send volumes diverge beyond scheduling noise: engine %v cluster %v", e, c)
+	if diff := (e - c) / e; diff > 0.05 || diff < -0.25 {
+		t.Errorf("send volumes diverge beyond scheduling offset + noise: engine %v cluster %v", e, c)
 	}
 }
 

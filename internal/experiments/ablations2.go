@@ -70,7 +70,7 @@ func AblationOpt(p AblationOptParams) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(p.Seed+int64(i)))
+		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(rng.DeriveSeed(p.Seed, int64(i))))
 		if err != nil {
 			return nil, err
 		}

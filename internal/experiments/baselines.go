@@ -92,7 +92,7 @@ func Baselines(p BaselinesParams) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(p.Seed+int64(i)))
+		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(rng.DeriveSeed(p.Seed, int64(i))))
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +194,7 @@ func AblationBurst(p AblationBurstParams) (*Report, error) {
 		variants = append(variants, burstVariant{
 			name:  fmt.Sprintf("bursty(len=%g)", bl),
 			model: func() (loss.Model, error) { return loss.BurstyWithRate(p.Rate, bl) },
-			seed:  p.Seed + int64(i) + 1,
+			seed:  rng.DeriveSeed(p.Seed, 1, int64(i)),
 		})
 	}
 	rows, err := Sweep(len(variants), sweepWorkers, func(k int) ([]string, error) {
@@ -278,8 +278,8 @@ func AblationDL(p AblationDLParams) (*Report, error) {
 	}
 	t := Table{Columns: []string{"dL", "edges/node", "mean out", "mean in", "alpha", "components", "dup prob"}}
 	// Filter first but keep the original index of each surviving point: its
-	// seed is p.Seed+index, and preserving that keeps the report identical to
-	// the historical sequential loop.
+	// seed derives from (p.Seed, index), and preserving the index keeps the
+	// report identical to the sequential loop.
 	type dlPoint struct{ i, dl int }
 	var pts []dlPoint
 	for i, dl := range p.DLs {
@@ -299,7 +299,7 @@ func AblationDL(p AblationDLParams) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(p.Seed+int64(i)))
+		e, err := engine.New(proto, loss.MustUniform(p.Loss), rng.New(rng.DeriveSeed(p.Seed, int64(i))))
 		if err != nil {
 			return nil, err
 		}

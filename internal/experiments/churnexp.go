@@ -58,7 +58,7 @@ func Churn1(p ChurnParams) (*Report, error) {
 		"max live components", "final mean out (live)", "final stale fraction",
 	}}
 	for i, rate := range p.Rates {
-		e, _, err := newSFEngine(p.N, p.S, p.DL, 0, p.Loss, 80, p.Seed+int64(i), false)
+		e, _, err := newSFEngine(p.N, p.S, p.DL, 0, p.Loss, 80, rng.DeriveSeed(p.Seed, int64(i)), false)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +67,7 @@ func Churn1(p ChurnParams) (*Report, error) {
 			LeaveProb: rate,
 			MinLive:   p.N / 4,
 		}
-		stats, err := churn.RunWorkload(e, cfg, p.Rounds, 50, rng.New(p.Seed+int64(100+i)))
+		stats, err := churn.RunWorkload(e, cfg, p.Rounds, 50, rng.New(rng.DeriveSeed(p.Seed, 100, int64(i))))
 		if err != nil {
 			return nil, err
 		}

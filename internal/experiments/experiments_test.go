@@ -222,7 +222,7 @@ func TestLem76Small(t *testing.T) {
 }
 
 func TestLem79Small(t *testing.T) {
-	r, err := Lem79(Lem79Params{N: 150, S: 16, DL: 6, Losses: []float64{0, 0.05}, Rounds: 150, Seed: 5})
+	r, err := Lem79(Lem79Params{N: 150, S: 16, DL: 6, Losses: []float64{0, 0.05}, Rounds: 150, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"sendforget/internal/degreemc"
 	"sendforget/internal/markov"
 	"sendforget/internal/metrics"
+	"sendforget/internal/rng"
 	"sendforget/internal/stats"
 )
 
@@ -358,7 +359,7 @@ func Fig63(p Fig63Params) (*Report, error) {
 		}
 		pt := lossPoint{res: res, simIn: "-", simOut: "-"}
 		if p.SimN > 0 {
-			e, _, err := newSFEngine(p.SimN, p.S, p.DL, 0, l, 0, p.Seed+int64(li), false)
+			e, _, err := newSFEngine(p.SimN, p.S, p.DL, 0, l, 0, rng.DeriveSeed(p.Seed, int64(li)), false)
 			if err != nil {
 				return lossPoint{}, err
 			}

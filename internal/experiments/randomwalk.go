@@ -63,7 +63,7 @@ func RW1(p RW1Params) (*Report, error) {
 	t := Table{Columns: []string{
 		"walk length k", "success rate", "(1-l)^k", "messages per sample", "gossip: msgs per action",
 	}}
-	walker := rng.New(p.Seed + 1)
+	walker := rng.New(rng.DeriveSeed(p.Seed, 1))
 	for _, k := range p.WalkLengths {
 		successes := 0
 		messages := 0

@@ -96,7 +96,7 @@ func Fig64(p Fig64Params) (*Report, error) {
 		}
 		measured := make([]float64, p.Rounds+1)
 		for leaver := 0; leaver < p.Leavers; leaver++ {
-			e, _, err := newSFEngine(p.N, p.S, p.DL, 0, l, 60, p.Seed+int64(li*100+leaver), false)
+			e, _, err := newSFEngine(p.N, p.S, p.DL, 0, l, 60, rng.DeriveSeed(p.Seed, int64(li), int64(leaver)), false)
 			if err != nil {
 				return nil, err
 			}
@@ -176,7 +176,7 @@ func Cor614(p Cor614Params) (*Report, error) {
 	t := Table{Columns: []string{"joiner", "Din (steady)", "bound Din/4", "indegree @2s rounds", "outdegree @2s rounds"}}
 	met := 0
 	for j := 0; j < p.Joiners; j++ {
-		e, proto, err := newSFEngine(p.N, p.S, p.DL, 0, p.Loss, 60, p.Seed+int64(j), false)
+		e, proto, err := newSFEngine(p.N, p.S, p.DL, 0, p.Loss, 60, rng.DeriveSeed(p.Seed, int64(j)), false)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +277,7 @@ func Lem66(p Lem66Params) (*Report, error) {
 	}
 	t := Table{Columns: []string{"loss l", "dup prob", "del prob", "l + del", "dup - (l+del)", "in [l, l+delta]?"}}
 	for i, l := range p.Losses {
-		e, proto, err := newSFEngine(p.N, p.S, p.DL, 0, l, 100, p.Seed+int64(i), false)
+		e, proto, err := newSFEngine(p.N, p.S, p.DL, 0, l, 100, rng.DeriveSeed(p.Seed, int64(i)), false)
 		if err != nil {
 			return nil, err
 		}

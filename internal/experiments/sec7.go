@@ -7,6 +7,7 @@ import (
 	"sendforget/internal/analysis"
 	"sendforget/internal/metrics"
 	"sendforget/internal/peer"
+	"sendforget/internal/rng"
 )
 
 // Lem76Params configures the uniformity experiment.
@@ -151,7 +152,7 @@ func Lem79(p Lem79Params) (*Report, error) {
 	}
 	t := Table{Columns: []string{"loss l", "alpha bound", "alpha raw", "alpha adj (iid-corrected)", "tagged", "self+dup", "iid-expected self+dup", "entries", "bound holds?"}}
 	for i, l := range p.Losses {
-		e, proto, err := newSFEngine(p.N, p.S, p.DL, 0, l, 100, p.Seed+int64(i)+1, true)
+		e, proto, err := newSFEngine(p.N, p.S, p.DL, 0, l, 100, rng.DeriveSeed(p.Seed, 1, int64(i)), true)
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +279,7 @@ func Lem715(p Lem715Params) (*Report, error) {
 		return nil, err
 	}
 	for i, n := range p.Ns {
-		e, _, err := newSFEngine(n, p.S, p.DL, 0, p.Loss, 100, p.Seed+int64(i), false)
+		e, _, err := newSFEngine(n, p.S, p.DL, 0, p.Loss, 100, rng.DeriveSeed(p.Seed, int64(i)), false)
 		if err != nil {
 			return nil, err
 		}

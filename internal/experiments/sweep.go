@@ -14,7 +14,7 @@ var sweepWorkers = 0
 // Sweep evaluates task(0..n-1) on a pool of at most workers goroutines
 // (workers <= 0 selects GOMAXPROCS) and returns the results in input order.
 // Tasks must be independent; the experiment runners give each task its own
-// RNG seeded seed+index, so the per-point results — and therefore the
+// RNG seeded rng.DeriveSeed(seed, index), so the per-point results — and therefore the
 // assembled report — are byte-identical however many workers ran them. If
 // several tasks fail, the error of the lowest index wins, matching what a
 // sequential loop would have returned first.

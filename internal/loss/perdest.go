@@ -55,14 +55,21 @@ func (m *PerDest) LostTo(dst peer.ID, r *rng.RNG) bool {
 // do not know the destination).
 func (m *PerDest) Lost(r *rng.RNG) bool { return r.Bernoulli(m.Default) }
 
-// Rate returns the unweighted average of the configured rates.
+// Rate returns the unweighted average of the configured rates. The sum
+// runs over destinations in sorted order so the reported average is
+// bit-identical across runs (float addition in map-iteration order is not).
 func (m *PerDest) Rate() float64 {
 	if len(m.Rates) == 0 {
 		return m.Default
 	}
+	dsts := make([]peer.ID, 0, len(m.Rates))
+	for dst := range m.Rates {
+		dsts = append(dsts, dst)
+	}
+	peer.Sort(dsts)
 	s := 0.0
-	for _, p := range m.Rates {
-		s += p
+	for _, dst := range dsts {
+		s += m.Rates[dst]
 	}
 	return s / float64(len(m.Rates))
 }

@@ -7,6 +7,16 @@
 // guarantees we want to depend on). The API mirrors the small slice of
 // math/rand the protocols need, plus the sampling helpers the paper's
 // protocol steps require (uniform distinct pairs, Bernoulli trials).
+//
+// This package is the only sanctioned randomness source in the repository.
+// Simulation and analysis code must not import math/rand, math/rand/v2, or
+// crypto/rand, and must not read the wall clock for anything that feeds a
+// protocol decision — the detrand analyzer (cmd/sfvet) enforces both
+// mechanically. Seeds for derived streams come from DeriveSeed, never from
+// arithmetic on other seeds (the seedflow analyzer enforces that). The one
+// entropy escape is AutoSeed in this package, which wraps crypto/rand
+// behind an audited `//lint:allow detrand` directive so that even
+// nondeterministic seeding for production nodes enters through here.
 package rng
 
 import (

@@ -112,28 +112,32 @@ func (h *Histogram) Support() []int {
 	return vals
 }
 
-// Mean returns the histogram mean.
+// Mean returns the histogram mean. Accumulation runs over the sorted
+// support, not the count map directly: float addition is not associative,
+// so summing in Go's randomized map order would let the last digits of
+// reported means differ between identically-seeded runs.
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
 		return 0
 	}
 	s := 0.0
-	for v, c := range h.counts {
-		s += float64(v) * float64(c)
+	for _, v := range h.Support() {
+		s += float64(v) * float64(h.counts[v])
 	}
 	return s / float64(h.total)
 }
 
-// Variance returns the population variance of the histogram.
+// Variance returns the population variance of the histogram, accumulated
+// over the sorted support for the same bit-reproducibility reason as Mean.
 func (h *Histogram) Variance() float64 {
 	if h.total == 0 {
 		return 0
 	}
 	m := h.Mean()
 	s := 0.0
-	for v, c := range h.counts {
+	for _, v := range h.Support() {
 		d := float64(v) - m
-		s += d * d * float64(c)
+		s += d * d * float64(h.counts[v])
 	}
 	return s / float64(h.total)
 }
