@@ -89,8 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			start := time.Now()
+			start := time.Now() //lint:allow detrand wall-clock progress timing, reported to stderr only
 			report, err := experiments.Run(id)
+			//lint:allow detrand elapsed wall time never feeds protocol state
 			done[i] <- outcome{report: report, err: err, elapsed: time.Since(start)}
 		}(i, id)
 	}

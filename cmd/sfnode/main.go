@@ -120,6 +120,7 @@ func run(args []string) int {
 	// any run can be replayed.
 	seed := *seedFlag
 	if seed == 0 {
+		//lint:allow detrand production nodes want fresh entropy; the seed is printed for replay
 		if seed, err = rng.AutoSeed(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

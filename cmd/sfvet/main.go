@@ -1,4 +1,4 @@
-// Command sfvet runs the repository's static-analysis suite — the five
+// Command sfvet runs the repository's static-analysis suite — the nine
 // invariant checkers in internal/analyzers — over the named package
 // patterns and prints every diagnostic in file:line:col form. It is the
 // multichecker CI and the Makefile `vet` target invoke; both run
@@ -8,10 +8,17 @@
 // so contributors see exactly the diagnostics CI enforces. Exit status is
 // 0 when clean, 1 when any diagnostic fired, 2 on usage or load errors.
 //
+// Packages are analyzed in parallel (the export data, call graph, and
+// program-wide fixpoints are built once and shared); diagnostic order is
+// deterministic regardless of -parallel.
+//
 // Flags:
 //
 //	-list             print the analyzers and their one-line docs, then exit
 //	-only name[,name] run only the named analyzers
+//	-json             print diagnostics as a JSON array on stdout
+//	-github           print GitHub Actions ::error workflow annotations
+//	-parallel n       analyze up to n packages concurrently (default GOMAXPROCS)
 //
 // Suppression is per line in the source, not per invocation: a reviewed
 // exception carries a `//lint:allow <analyzer> <reason>` comment (see
@@ -19,10 +26,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 
 	"sendforget/internal/analyzers"
@@ -33,11 +43,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiagnostic is the -json wire shape: one object per diagnostic, stable
+// field names so CI tooling can consume it without parsing the human form.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sfvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "print diagnostics as a JSON array on stdout")
+	github := fs.Bool("github", false, "print GitHub Actions ::error annotations")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max packages analyzed concurrently")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,15 +73,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *only != "" {
 		byName := make(map[string]*framework.Analyzer, len(suite))
+		valid := make([]string, 0, len(suite))
 		for _, a := range suite {
 			byName[a.Name] = a
+			valid = append(valid, a.Name)
 		}
+		sort.Strings(valid)
 		var selected []*framework.Analyzer
 		for _, name := range strings.Split(*only, ",") {
 			name = strings.TrimSpace(name)
 			a, ok := byName[name]
 			if !ok {
-				fmt.Fprintf(stderr, "sfvet: unknown analyzer %q (use -list)\n", name)
+				fmt.Fprintf(stderr, "sfvet: unknown analyzer %q; valid analyzers: %s\n",
+					name, strings.Join(valid, ", "))
 				return 2
 			}
 			selected = append(selected, a)
@@ -80,21 +107,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sfvet: %v\n", err)
 		return 2
 	}
-	total := 0
-	for _, pkg := range pkgs {
-		diags, err := framework.RunAnalyzers(pkg, suite)
-		if err != nil {
+	prog := framework.NewProgram(pkgs)
+	diags, err := prog.AnalyzeAll(suite, *parallel)
+	if err != nil {
+		fmt.Fprintf(stderr, "sfvet: %v\n", err)
+		return 2
+	}
+	switch {
+	case *asJSON:
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(stderr, "sfvet: %v\n", err)
 			return 2
 		}
+	case *github:
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=sfvet/%s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, githubEscape(d.Message))
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
-			total++
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(stderr, "sfvet: %d diagnostic(s) across %d package(s)\n", total, len(pkgs))
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "sfvet: %d diagnostic(s) across %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// githubEscape applies the workflow-command data escaping rules: percent,
+// CR, and LF must be URL-style escaped or the runner truncates the message.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

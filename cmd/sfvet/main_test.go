@@ -2,29 +2,44 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+var allAnalyzerNames = []string{
+	"detrand", "seedflow", "lockdiscipline", "counterbalance", "maporder",
+	"seedtaint", "lockreach", "goroleak", "errdrop",
+}
 
 func TestListPrintsAllAnalyzers(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("sfvet -list: exit %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"detrand", "seedflow", "lockdiscipline", "counterbalance", "maporder"} {
+	for _, name := range allAnalyzerNames {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("sfvet -list output missing %q:\n%s", name, out.String())
 		}
 	}
 }
 
+// TestUnknownAnalyzerIsUsageError pins the exit-code contract (2 for usage
+// errors) and the help the message must carry: the full list of valid
+// names, so a typo is a one-round-trip fix.
 func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
 		t.Fatalf("sfvet -only nosuch: exit %d, want 2", code)
 	}
-	if !strings.Contains(errOut.String(), "unknown analyzer") {
-		t.Errorf("stderr missing unknown-analyzer message: %s", errOut.String())
+	msg := errOut.String()
+	if !strings.Contains(msg, "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", msg)
+	}
+	for _, name := range allAnalyzerNames {
+		if !strings.Contains(msg, name) {
+			t.Errorf("unknown-analyzer message does not list valid name %q: %s", name, msg)
+		}
 	}
 }
 
@@ -33,6 +48,43 @@ func TestSingleAnalyzerOverOnePackage(t *testing.T) {
 	if code := run([]string{"-only", "detrand", "./internal/rng/..."}, &out, &errOut); code != 0 {
 		t.Fatalf("sfvet -only detrand ./internal/rng/...: exit %d\nstdout: %s\nstderr: %s",
 			code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONOutputIsWellFormed: -json must emit a JSON array (empty for a
+// clean package) that CI tooling can consume without parsing the human
+// form.
+func TestJSONOutputIsWellFormed(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-only", "detrand", "./internal/rng/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("sfvet -json: exit %d\nstderr: %s", code, errOut.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected clean package, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestGitHubModeEmitsNothingWhenClean: ::error annotations appear only for
+// findings.
+func TestGitHubModeEmitsNothingWhenClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-github", "-only", "detrand", "./internal/rng/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("sfvet -github: exit %d\nstderr: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "::error") {
+		t.Errorf("clean run emitted annotations:\n%s", out.String())
+	}
+}
+
+func TestGitHubEscape(t *testing.T) {
+	got := githubEscape("50% loss\r\nnext")
+	want := "50%25 loss%0D%0Anext"
+	if got != want {
+		t.Errorf("githubEscape = %q, want %q", got, want)
 	}
 }
 
@@ -48,5 +100,18 @@ func TestWholeRepoIsClean(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("sfvet ./... printed diagnostics despite exit 0:\n%s", out.String())
+	}
+}
+
+// BenchmarkSfvetRepo is the whole-repo smoke benchmark: one full suite run —
+// load, call graph, program-wide fixpoints, nine analyzers over every
+// package — per iteration. It bounds the CI vet budget; a regression here
+// is a regression in every CI run.
+func BenchmarkSfvetRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out, errOut bytes.Buffer
+		if code := run(nil, &out, &errOut); code != 0 {
+			b.Fatalf("sfvet ./...: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
 	}
 }

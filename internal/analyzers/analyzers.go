@@ -1,7 +1,7 @@
-// Package analyzers is the repository's static-analysis suite: five
+// Package analyzers is the repository's static-analysis suite: nine
 // framework.Analyzers that mechanically enforce the determinism,
-// lock-discipline, and accounting invariants the reproduction's correctness
-// argument rests on.
+// lock-discipline, accounting, and goroutine-lifecycle invariants the
+// reproduction's correctness argument rests on.
 //
 // The paper derives the membership properties M1-M5 under a precisely
 // controlled randomness model; the model<->simulation cross-validation in
@@ -11,12 +11,25 @@
 // the lock discipline, PR 3 the seed-derivation rule); this suite promotes
 // them to compiler-grade checks run by cmd/sfvet in CI.
 //
+// The first five analyzers are syntactic, per-package checks:
+//
 //	detrand        no ambient randomness or wall clock in simulation code
 //	seedflow       RNG seeds come from rng.DeriveSeed, never arithmetic
 //	lockdiscipline no sends or blocking calls under a node/cluster mutex
 //	counterbalance traffic counters move only through their owning package,
 //	               and every send is paired with an outcome
 //	maporder       no map-iteration order leaking into ordered output
+//
+// The remaining four are interprocedural, built on the framework's CFG,
+// call graph, and taint engine, and see the whole loaded program:
+//
+//	seedtaint no arithmetic-derived seed reaches rng.New through any
+//	          chain of calls or assignments
+//	lockreach no call that transitively blocks (send, channel op, lock)
+//	          while a runtime/engine mutex is held
+//	goroleak  every goroutine in the runtime and commands has a
+//	          termination path and a shutdown/sync mechanism
+//	errdrop   transport/faults errors are consulted, never discarded
 //
 // Exceptions are granted per line with `//lint:allow <analyzer> <reason>`
 // (see the framework package).
@@ -36,6 +49,10 @@ func All() []*framework.Analyzer {
 		Lockdiscipline,
 		Counterbalance,
 		Maporder,
+		Seedtaint,
+		Lockreach,
+		Goroleak,
+		Errdrop,
 	}
 }
 
@@ -49,8 +66,12 @@ func fixturePackage(path string) bool {
 // deterministicPackage reports whether the package must be bit-for-bit
 // reproducible: every internal package is — the simulators, chains, and
 // experiment drivers directly, and the support packages because the
-// simulators call them. Commands (cmd/...) and examples are exempt; wall
-// clocks for progress timing are legitimate there.
+// simulators call them — and so are the command mains (cmd/...), which
+// drive experiments whose results must replay from a -seed flag alone.
+// Intentional entropy and wall-clock progress timing in commands carry
+// explicit `//lint:allow detrand` directives.
 func deterministicPackage(path string) bool {
-	return fixturePackage(path) || strings.HasPrefix(path, "sendforget/internal/")
+	return fixturePackage(path) ||
+		strings.HasPrefix(path, "sendforget/internal/") ||
+		strings.HasPrefix(path, "sendforget/cmd/")
 }

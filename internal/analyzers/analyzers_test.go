@@ -32,6 +32,53 @@ func TestMaporderFixture(t *testing.T) {
 	framework.RunFixture(t, fixture("maporder"), Maporder)
 }
 
+func TestSeedtaintFixture(t *testing.T) {
+	framework.RunFixture(t, fixture("seedtaint"), Seedtaint)
+}
+
+func TestLockreachFixture(t *testing.T) {
+	framework.RunFixture(t, fixture("lockreach"), Lockreach)
+}
+
+func TestGoroleakFixture(t *testing.T) {
+	framework.RunFixture(t, fixture("goroleak"), Goroleak)
+}
+
+func TestErrdropFixture(t *testing.T) {
+	framework.RunFixture(t, fixture("errdrop"), Errdrop)
+}
+
+// TestSeedtaintSeesWhatSeedflowMisses pins the gap that justifies the
+// interprocedural engine: every flagged case in the seedtaint fixture hides
+// its arithmetic behind a helper whose parameters are not seed-named, so
+// the syntactic seedflow analyzer reports nothing on the package — while
+// seedtaint, following the taint through calls and fields, flags the PR 3
+// collision scheme end to end.
+func TestSeedtaintSeesWhatSeedflowMisses(t *testing.T) {
+	dir := fixture("seedtaint")
+
+	syntactic, err := framework.FixtureDiagnostics(dir, Seedflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range syntactic {
+		t.Errorf("seedflow unexpectedly sees through the helper: %s", d)
+	}
+
+	interproc, err := framework.FixtureDiagnostics(dir, Seedtaint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interproc) != 3 {
+		t.Fatalf("want 3 seedtaint diagnostics (helper, inline, field), got %d: %v", len(interproc), interproc)
+	}
+	for _, d := range interproc {
+		if d.Analyzer != "seedtaint" {
+			t.Errorf("diagnostic from %q, want seedtaint: %s", d.Analyzer, d)
+		}
+	}
+}
+
 // TestSeedflowCatchesPR3Collision is the regression test for the PR 3 seed
 // bug: the cluster derived node u's initial stream from Seed+u+1 and its
 // rejoin stream from Seed+u+7919, so a rejoining node u replayed the
@@ -83,8 +130,10 @@ func TestSeedflowCatchesPR3Collision(t *testing.T) {
 	}
 }
 
-// TestRepoClean re-runs the full suite over the whole module, pinning the
-// "sfvet runs clean" invariant into the ordinary test run.
+// TestRepoClean re-runs the full suite over the whole module as one
+// program — so the interprocedural analyzers see every cross-package call
+// edge, exactly as cmd/sfvet does — pinning the "sfvet runs clean"
+// invariant into the ordinary test run.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module")
@@ -100,13 +149,12 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loader returned no packages")
 	}
-	for _, pkg := range pkgs {
-		diags, err := framework.RunAnalyzers(pkg, All())
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+	prog := framework.NewProgram(pkgs)
+	diags, err := prog.AnalyzeAll(All(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

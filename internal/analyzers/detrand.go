@@ -24,7 +24,14 @@ import (
 // The one sanctioned escape is internal/rng itself, which may wrap an
 // entropy source behind a `//lint:allow detrand` directive (rng.AutoSeed
 // uses crypto/rand this way) so that even nondeterministic seeding for
-// production nodes enters through the audited package.
+// production nodes enters through the audited package. Calling AutoSeed is
+// itself a detrand finding: each call site injects entropy and must carry
+// its own `//lint:allow detrand` explaining why the run need not replay.
+//
+// Scope: all of internal/... and — since the suite went interprocedural —
+// the command mains under cmd/..., whose experiment runs must replay from a
+// -seed flag alone. Wall-clock progress timing written to stderr is legal
+// there but must be visibly allowed.
 //
 // Suite history: the suite's first full-repo run found no live violations —
 // PR 1-3 had already scrubbed them by hand; this analyzer keeps it that way.
@@ -75,13 +82,18 @@ func runDetrand(pass *framework.Pass) error {
 				return true
 			}
 			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			if !ok || fn.Pkg() == nil {
 				return true
 			}
-			if detrandForbiddenTimeFuncs[fn.Name()] {
+			if fn.Pkg().Path() == "time" && detrandForbiddenTimeFuncs[fn.Name()] {
 				pass.Reportf(call.Pos(),
 					"call to time.%s in deterministic package %s: simulated time must be logical (rounds/steps), not wall clock",
 					fn.Name(), pass.Pkg.Path())
+			}
+			if fn.Name() == "AutoSeed" && fn.Pkg().Path() == rngPkgPath {
+				pass.Reportf(call.Pos(),
+					"call to rng.AutoSeed injects nondeterministic entropy into package %s: use an explicit seed, or allow this site with a reason",
+					pass.Pkg.Path())
 			}
 			return true
 		})

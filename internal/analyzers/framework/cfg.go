@@ -1,0 +1,518 @@
+package framework
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block of a control-flow graph: a maximal run of
+// branch-free statements and expressions, executed in order, followed by an
+// unconditional transfer to one of Succs. Nodes holds the statements and the
+// control expressions (an if condition, a switch tag, a range operand) in
+// evaluation order.
+type Block struct {
+	Index int
+	// Kind describes why the block exists ("entry", "if.then", "for.head",
+	// ...); it is stable and part of the golden-test contract.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit is the single synthetic return point every terminating path
+// reaches. Deferred calls are collected in Defers (in registration order)
+// rather than wired into the edges: they run at every function exit, and
+// analyses that care (lock modeling, shutdown detection) treat them
+// explicitly.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Defers []*ast.CallExpr
+}
+
+// BuildCFG constructs the control-flow graph of a function body. The
+// builder understands if/else, for (including for{} with no exit edge),
+// range, switch with fallthrough, type switch, select, labeled
+// break/continue, goto, panic, and defer. It is purely syntactic: no type
+// information is needed, so it works on any parsed file.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+		loops:  make(map[string]*loopTargets),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.link(b.cur, b.cfg.Exit)
+	}
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+// ExitReachable reports whether any path from Entry reaches Exit — i.e.
+// whether the function can terminate by falling off the end or returning
+// (panics also route to Exit). A goroutine body whose CFG cannot reach Exit
+// runs forever.
+func (c *CFG) ExitReachable() bool {
+	return c.reachableFrom(c.Entry)[c.Exit]
+}
+
+// reachableFrom returns the set of blocks reachable from start (inclusive).
+func (c *CFG) reachableFrom(start *Block) map[*Block]bool {
+	seen := map[*Block]bool{start: true}
+	work := []*Block{start}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the graph in the compact golden-test format, one block per
+// line: index, kind, abbreviated node syntax, and successor indices.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			parts := make([]string, len(blk.Nodes))
+			for i, n := range blk.Nodes {
+				parts[i] = nodeText(n)
+			}
+			fmt.Fprintf(&sb, " {%s}", strings.Join(parts, "; "))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(c.Defers) > 0 {
+		parts := make([]string, len(c.Defers))
+		for i, d := range c.Defers {
+			parts[i] = nodeText(d)
+		}
+		fmt.Fprintf(&sb, "defers {%s}\n", strings.Join(parts, "; "))
+	}
+	return sb.String()
+}
+
+// nodeText prints a node's syntax on one line, truncated for readability.
+func nodeText(n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), n)
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+// loopTargets records where break and continue transfer for one loop (or
+// switch/select, which only has a break target).
+type loopTargets struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return/break/goto/panic) until the next reachable statement.
+	cur *Block
+	// loopStack tracks enclosing break/continue targets, innermost last.
+	loopStack []*loopTargets
+	// loops maps label names to their loop's targets for labeled
+	// break/continue; labels maps label names to goto target blocks.
+	loops        map[string]*loopTargets
+	labels       map[string]*Block
+	pendingLabel string
+	// fallthroughTo is the next case body while building a switch case.
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// ensure returns the current block, starting an unreachable one if control
+// cannot arrive here (statements after return/break).
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// startBlock ends the current block and begins a new one linked from it.
+func (b *cfgBuilder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	if b.cur != nil {
+		b.link(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// pushLoop registers the targets (also under the pending label, if any).
+func (b *cfgBuilder) pushLoop(t *loopTargets) string {
+	b.loopStack = append(b.loopStack, t)
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.loops[label] = t
+	}
+	return label
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.loopStack = b.loopStack[:len(b.loopStack)-1]
+	if label != "" {
+		delete(b.loops, label)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// A label is a join point: goto may enter here.
+		lb, ok := b.labels[s.Label.Name]
+		if !ok {
+			lb = b.newBlock("label." + s.Label.Name)
+			b.labels[s.Label.Name] = lb
+		}
+		if b.cur != nil {
+			b.link(b.cur, lb)
+		}
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s, false); t != nil {
+				b.link(b.ensure(), t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.branchTarget(s, true); t != nil {
+				b.link(b.ensure(), t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			lb, ok := b.labels[s.Label.Name]
+			if !ok {
+				lb = b.newBlock("label." + s.Label.Name)
+				b.labels[s.Label.Name] = lb
+			}
+			b.link(b.ensure(), lb)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.link(b.ensure(), b.fallthroughTo)
+			}
+			b.cur = nil
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock("if.done")
+		b.cur = b.newBlock("if.then")
+		b.link(cond, b.cur)
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, after)
+		}
+		if s.Else != nil {
+			b.cur = b.newBlock("if.else")
+			b.link(cond, b.cur)
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.link(b.cur, after)
+			}
+		} else {
+			b.link(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.startBlock("for.head")
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock("for.done")
+		var post *Block
+		contTarget := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.link(post, head)
+			contTarget = post
+		}
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		label := b.pushLoop(&loopTargets{brk: after, cont: contTarget})
+		b.cur = b.newBlock("for.body")
+		b.link(head, b.cur)
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, contTarget)
+		}
+		b.popLoop(label)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.startBlock("range.head")
+		head.Nodes = append(head.Nodes, s.X)
+		after := b.newBlock("range.done")
+		b.link(head, after)
+		label := b.pushLoop(&loopTargets{brk: after, cont: head})
+		b.cur = b.newBlock("range.body")
+		b.link(head, b.cur)
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.popLoop(label)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildCases(s.Body.List, "switch", true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.buildCases(s.Body.List, "typeswitch", false)
+
+	case *ast.SelectStmt:
+		head := b.ensure()
+		after := b.newBlock("select.done")
+		label := b.pushLoop(&loopTargets{brk: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			cb := b.newBlock(kind)
+			b.link(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			if b.cur != nil {
+				b.link(b.cur, after)
+			}
+		}
+		b.popLoop(label)
+		// select{} with no cases blocks forever: no edge to after.
+		if len(s.Body.List) == 0 {
+			after.Kind = "select.blocked"
+		}
+		b.cur = after
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.link(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go, empty: straight-line.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// buildCases wires switch / type-switch case clauses. The head (current
+// block) branches to every case and — absent a default — to the join block.
+func (b *cfgBuilder) buildCases(clauses []ast.Stmt, kind string, allowFallthrough bool) {
+	head := b.ensure()
+	after := b.newBlock(kind + ".done")
+	label := b.pushLoop(&loopTargets{brk: after})
+	hasDefault := false
+	// Pre-create the case bodies so fallthrough can target the next one.
+	bodies := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		k := kind + ".case"
+		if cc.List == nil {
+			k = kind + ".default"
+			hasDefault = true
+		}
+		bodies[i] = b.newBlock(k)
+		b.link(head, bodies[i])
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = bodies[i]
+		if allowFallthrough && i+1 < len(bodies) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmts(cc.Body)
+		b.fallthroughTo = nil
+		if b.cur != nil {
+			b.link(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.popLoop(label)
+	b.cur = after
+}
+
+// branchTarget resolves a break/continue, labeled or not.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, cont bool) *Block {
+	var t *loopTargets
+	if s.Label != nil {
+		t = b.loops[s.Label.Name]
+	} else if len(b.loopStack) > 0 {
+		if cont {
+			// continue skips switch/select frames (they have no cont target).
+			for i := len(b.loopStack) - 1; i >= 0; i-- {
+				if b.loopStack[i].cont != nil {
+					t = b.loopStack[i]
+					break
+				}
+			}
+		} else {
+			t = b.loopStack[len(b.loopStack)-1]
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if cont {
+		return t.cont
+	}
+	return t.brk
+}
+
+// isPanicCall reports whether e is a call to the builtin panic or os.Exit —
+// both terminate the enclosing function unconditionally.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fn.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// ForwardDataflow runs a forward worklist dataflow analysis over the graph
+// and returns each block's entry fact. entry seeds the Entry block; transfer
+// maps a block's entry fact to its exit fact; join merges two facts (and
+// must be monotone for termination); equal detects the fixpoint.
+func ForwardDataflow[F any](c *CFG, entry F, transfer func(*Block, F) F, join func(F, F) F, equal func(F, F) bool) map[*Block]F {
+	in := make(map[*Block]F, len(c.Blocks))
+	seeded := make(map[*Block]bool, len(c.Blocks))
+	in[c.Entry] = entry
+	seeded[c.Entry] = true
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := transfer(blk, in[blk])
+		for _, s := range blk.Succs {
+			if !seeded[s] {
+				in[s] = out
+				seeded[s] = true
+				work = append(work, s)
+				continue
+			}
+			merged := join(in[s], out)
+			if !equal(merged, in[s]) {
+				in[s] = merged
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,258 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a file containing one function and returns its
+// body. The CFG builder is purely syntactic, so no type-checking is needed.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// TestCFGGolden pins the graph shape — block kinds, node placement, edge
+// order — for the control constructs the analyzers rely on. The format is
+// CFG.String()'s contract; a diff here means every CFG-based analyzer needs
+// a second look.
+func TestCFGGolden(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "if-else-returns",
+			src: `func f(x int) int {
+	if x > 0 {
+		return 1
+	} else {
+		return -1
+	}
+}`,
+			want: `b0 entry {x > 0} -> b3 b4
+b1 exit
+b2 if.done -> b1
+b3 if.then {return 1} -> b1
+b4 if.else {return -1} -> b1
+`,
+		},
+		{
+			name: "labeled-break-continue",
+			src: `func g(xs []int) int {
+	total := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for _, x := range xs {
+			if x < 0 {
+				continue outer
+			}
+			if x == 9 {
+				break outer
+			}
+			total += x
+		}
+	}
+	return total
+}`,
+			want: `b0 entry {total := 0} -> b2
+b1 exit
+b2 label.outer {i := 0} -> b3
+b3 for.head {i < len(xs)} -> b4 b6
+b4 for.done {return total} -> b1
+b5 for.post {i++} -> b3
+b6 for.body -> b7
+b7 range.head {xs} -> b8 b9
+b8 range.done -> b5
+b9 range.body {x < 0} -> b11 b10
+b10 if.done {x == 9} -> b13 b12
+b11 if.then -> b5
+b12 if.done {total += x} -> b7
+b13 if.then -> b4
+`,
+		},
+		{
+			name: "defer-and-panic",
+			src: `func h(ok bool) {
+	defer cleanup()
+	if !ok {
+		panic("bad")
+	}
+	work()
+}`,
+			want: `b0 entry {defer cleanup(); !ok} -> b3 b2
+b1 exit
+b2 if.done {work()} -> b1
+b3 if.then {panic("bad")} -> b1
+defers {cleanup()}
+`,
+		},
+		{
+			name: "switch-fallthrough",
+			src: `func s(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	case 1:
+		fallthrough
+	case 2:
+		return "small"
+	default:
+		return "big"
+	}
+}`,
+			want: `b0 entry {n} -> b3 b4 b5 b6
+b1 exit
+b2 switch.done -> b1
+b3 switch.case {return "zero"} -> b1
+b4 switch.case -> b5
+b5 switch.case {return "small"} -> b1
+b6 switch.default {return "big"} -> b1
+`,
+		},
+		{
+			name: "gossip-select-loop",
+			src: `func sel(a, b chan int, done chan struct{}) int {
+	for {
+		select {
+		case v := <-a:
+			return v
+		case <-done:
+			return 0
+		default:
+			b <- 1
+		}
+	}
+}`,
+			want: `b0 entry -> b2
+b1 exit
+b2 for.head -> b4
+b3 for.done -> b1
+b4 for.body -> b6 b7 b8
+b5 select.done -> b2
+b6 select.case {v := <-a; return v} -> b1
+b7 select.case {<-done; return 0} -> b1
+b8 select.default {b <- 1} -> b5
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := BuildCFG(parseBody(t, tc.src)).String()
+			if got != tc.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestExitReachable pins the termination judgment goroleak rests on.
+func TestExitReachable(t *testing.T) {
+	cases := []struct {
+		name, src string
+		want      bool
+	}{
+		{"plain-return", `func f() { work() }`, true},
+		{"bare-infinite-loop", `func f() { for { work() } }`, false},
+		{"loop-with-guarded-return", `func f(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			work()
+		}
+	}
+}`, true},
+		{"empty-select", `func f() { select {} }`, false},
+		{"loop-with-break", `func f() { for { break } }`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := BuildCFG(parseBody(t, tc.src)).ExitReachable(); got != tc.want {
+				t.Errorf("ExitReachable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestForwardDataflow checks the worklist solver joins facts across
+// branches: block kinds seen on *some* path into each block, with union
+// join — the may-analysis shape lockreach uses for held locks.
+func TestForwardDataflow(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f(x int) int {
+	if x > 0 {
+		return 1
+	} else {
+		return -1
+	}
+}`))
+	type fact = map[string]bool
+	transfer := func(b *Block, in fact) fact {
+		out := fact{b.Kind: true}
+		for k := range in {
+			out[k] = true
+		}
+		return out
+	}
+	join := func(a, b fact) fact {
+		m := fact{}
+		for k := range a {
+			m[k] = true
+		}
+		for k := range b {
+			m[k] = true
+		}
+		return m
+	}
+	equal := func(a, b fact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	in := ForwardDataflow(cfg, fact{}, transfer, join, equal)
+	atExit := in[cfg.Exit]
+	for _, kind := range []string{"entry", "if.then", "if.else"} {
+		if !atExit[kind] {
+			t.Errorf("exit entry fact missing %q: %v", kind, keys(atExit))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestCFGStringTruncation: long statements are abbreviated, keeping goldens
+// readable.
+func TestCFGStringTruncation(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f() {
+	veryLongFunctionName(firstArgument, secondArgument, thirdArgument, fourthArgument)
+}`))
+	s := cfg.String()
+	if !strings.Contains(s, "...") {
+		t.Errorf("expected truncated node text in %q", s)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Analyzer is one named static check.
@@ -41,13 +42,16 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Pass carries one analyzer's view of one type-checked package.
+// Pass carries one analyzer's view of one type-checked package. Prog gives
+// interprocedural analyzers the whole loaded program: every source package,
+// the shared call graph, and a memo for program-wide computations.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
 	diags *[]Diagnostic
 }
@@ -72,10 +76,59 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// RunAnalyzers applies every analyzer to pkg, filters the findings through
-// the package's //lint:allow directives, and returns them in file/line
-// order. Analyzer runtime errors (not diagnostics) are returned as err.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Program is a whole loaded program: the source packages under analysis,
+// the CHA call graph spanning them, and a memo that lets analyzers share
+// program-wide computations (taint fixpoints, blocking summaries) across
+// per-package passes — including parallel ones.
+type Program struct {
+	Packages  []*Package
+	CallGraph *CallGraph
+
+	byPath map[string]*Package
+
+	mu     sync.Mutex
+	shared map[string]any
+}
+
+// NewProgram builds the program view — including the call graph — over the
+// given source packages.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Packages:  pkgs,
+		CallGraph: buildCallGraph(pkgs, "sendforget/"),
+		byPath:    make(map[string]*Package, len(pkgs)),
+		shared:    make(map[string]any),
+	}
+	for _, pkg := range pkgs {
+		prog.byPath[pkg.Path] = pkg
+	}
+	return prog
+}
+
+// Package returns the source package with the given path, or nil when it
+// was not loaded from source.
+func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
+
+// Shared memoizes a program-wide computation under key: the first caller
+// builds it, everyone else gets the same value. Builds run under the
+// program lock, so a value is computed exactly once even when packages are
+// analyzed in parallel; the built value must be treated as read-only.
+func (prog *Program) Shared(key string, build func() any) any {
+	prog.mu.Lock()
+	defer prog.mu.Unlock()
+	if v, ok := prog.shared[key]; ok {
+		return v
+	}
+	v := build()
+	prog.shared[key] = v
+	return v
+}
+
+// Analyze applies every analyzer to one of the program's packages, filters
+// the findings through the package's //lint:allow directives, and returns
+// them in file/line order. Analyzer runtime errors (not diagnostics) are
+// returned as err.
+func (prog *Program) Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -84,6 +137,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Prog:      prog,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -91,6 +145,59 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	diags = suppressAllowed(pkg, diags)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// AnalyzeAll runs the suite over every package of the program on up to
+// workers goroutines and returns the findings in deterministic (package,
+// file, line) order regardless of the worker count. The heavy shared
+// structures — export data, the call graph, Shared memos — are built once
+// and read by all workers.
+func (prog *Program) AnalyzeAll(analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(prog.Packages) {
+		workers = len(prog.Packages)
+	}
+	perPkg := make([][]Diagnostic, len(prog.Packages))
+	errs := make([]error, len(prog.Packages))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i], errs[i] = prog.Analyze(prog.Packages[i], analyzers)
+			}
+		}()
+	}
+	for i := range prog.Packages {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var diags []Diagnostic
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, perPkg[i]...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunAnalyzers analyzes a single package as its own one-package program —
+// the fixture runner's entry point. Interprocedural analyzers see only the
+// package itself, which is exactly the fixture contract.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return NewProgram([]*Package{pkg}).Analyze(pkg, analyzers)
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -104,5 +211,4 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }

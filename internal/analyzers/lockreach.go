@@ -1,0 +1,456 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sendforget/internal/analyzers/framework"
+)
+
+// Lockreach is the interprocedural upgrade of lockdiscipline: it flags
+// calls made while a mutex is held to functions that block *transitively* —
+// a channel operation, a transport send, a lock acquisition, or a known
+// blocking call buried any number of helper calls deep. Lockdiscipline sees
+//
+//	n.mu.Lock()
+//	n.ch <- v // flagged: direct op under lock
+//
+// but is blind to
+//
+//	n.mu.Lock()
+//	n.flush() // flush does n.ch <- v
+//
+// which deadlocks just the same — the shape PR 2's "replies are sent
+// outside the node lock" rule exists to prevent, and the shape a helper
+// extraction silently reintroduces.
+//
+// Mechanics: a program-wide summary pass computes, for every source
+// function, whether its body can block (channel send/receive, blocking
+// select, range over a channel, Lock/RLock acquisition, time.Sleep,
+// WaitGroup/Cond.Wait, or a method named Send) or calls — statically or
+// through a CHA-resolved interface — a function that can. Then each
+// function in the scoped packages is analyzed with a CFG-based forward
+// "may-hold" dataflow (Lock adds, Unlock removes, deferred Unlock holds to
+// function exit, branch facts join by union), and every call whose callee
+// summary blocks while the held set is nonempty is reported with the
+// blocking reason one level down the chain.
+//
+// Division of labor with lockdiscipline: direct operations in the locked
+// function itself (channel ops, .Send calls, time.Sleep, Wait) stay
+// lockdiscipline's findings; lockreach reports only the transitive cases
+// lockdiscipline provably cannot see. Goroutine bodies and non-invoked
+// function literals do not count toward a function's summary — spawning is
+// not blocking.
+//
+// Scope: internal/runtime and internal/engine, where the node/cluster
+// locks and the gossip hot path live (plus fixture packages).
+var Lockreach = &framework.Analyzer{
+	Name: "lockreach",
+	Doc:  "no call that transitively blocks (channel op, send, lock, sleep, wait) while holding a mutex",
+	Run:  runLockreach,
+}
+
+// lockreachScoped reports whether the package's functions are checked for
+// held-lock call sites. The blocking summaries always span the whole
+// program; only the reporting is scoped.
+func lockreachScoped(path string) bool {
+	return fixturePackage(path) ||
+		strings.HasPrefix(path, "sendforget/internal/runtime") ||
+		strings.HasPrefix(path, "sendforget/internal/engine")
+}
+
+// blockReason explains why a function may block: a direct operation at Pos,
+// or a call to the next blocking function down the chain.
+type blockReason struct {
+	what string
+	pos  token.Position
+}
+
+// blockSummaries maps every source function that may block to its reason.
+type blockSummaries map[*types.Func]*blockReason
+
+func runLockreach(pass *framework.Pass) error {
+	if !lockreachScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	summaries := pass.Prog.Shared("lockreach.summaries", func() any {
+		return buildBlockSummaries(pass.Prog)
+	}).(blockSummaries)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockreach(pass, fd.Body, summaries)
+		}
+	}
+	return nil
+}
+
+// buildBlockSummaries computes the may-block fixpoint over every source
+// function in the program.
+func buildBlockSummaries(prog *framework.Program) blockSummaries {
+	summaries := make(blockSummaries)
+	type fnBody struct {
+		pkg  *framework.Package
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fnBody
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := framework.FuncOf(pkg, fd)
+				if fn == nil {
+					continue
+				}
+				fns = append(fns, fnBody{pkg, fn, fd.Body})
+				if why := directBlockOp(pkg, fd.Body); why != nil {
+					summaries[fn] = why
+				}
+			}
+		}
+	}
+	// Propagate call edges to fixpoint: fn blocks if any resolvable callee
+	// (outside go statements and non-invoked literals) blocks.
+	for changed := true; changed; {
+		changed = false
+		for _, fb := range fns {
+			if summaries[fb.fn] != nil {
+				continue
+			}
+			forEachExecutedCall(fb.body, func(call *ast.CallExpr) {
+				if summaries[fb.fn] != nil {
+					return
+				}
+				for _, callee := range prog.CallGraph.Callees(fb.pkg.Info, call) {
+					if callee == fb.fn {
+						continue
+					}
+					if why := summaries[callee]; why != nil {
+						summaries[fb.fn] = &blockReason{
+							what: fmt.Sprintf("calls %s, which %s", callee.Name(), why.what),
+							pos:  fb.pkg.Fset.Position(call.Pos()),
+						}
+						changed = true
+						return
+					}
+				}
+			})
+		}
+	}
+	return summaries
+}
+
+// directBlockOp scans a body for operations that block the calling
+// goroutine, ignoring goroutine launches and function literals that are not
+// invoked on the spot (their ops run elsewhere/later). Deferred calls run
+// on this goroutine and count.
+func directBlockOp(pkg *framework.Package, body *ast.BlockStmt) *blockReason {
+	var found *blockReason
+	report := func(what string, pos token.Pos) {
+		if found == nil {
+			found = &blockReason{what: what, pos: pkg.Fset.Position(pos)}
+		}
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// Spawning never blocks; the spawned body runs elsewhere.
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				return false
+			case *ast.FuncLit:
+				// Only counted where invoked (call or defer), handled below.
+				return false
+			case *ast.CallExpr:
+				if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body) // immediately-invoked literal runs here
+				}
+				if what := blockingCallName(pkg.Info, n); what != "" {
+					report(what, n.Pos())
+				}
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body) // runs on this goroutine at exit
+				}
+			case *ast.SendStmt:
+				report("sends on a channel", n.Pos())
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					report("receives from a channel", n.Pos())
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					report("blocks in a select", n.Pos())
+				}
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						report("ranges over a channel", n.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return found
+}
+
+// blockingCallName classifies a single call as a direct blocking operation,
+// returning a description ("" if it is not one). Lock acquisitions count:
+// taking a second mutex while holding the first is the lock-ordering
+// deadlock this analyzer exists to surface.
+func blockingCallName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if selection, found := info.Selections[sel]; found {
+		switch sel.Sel.Name {
+		case "Send":
+			return "calls " + types.ExprString(sel.X) + ".Send"
+		case "Lock", "RLock":
+			if isSyncMutex(selection.Recv()) {
+				return "acquires " + types.ExprString(sel.X)
+			}
+		case "Wait":
+			recv := selection.Recv()
+			if p, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+				recv = p.Elem()
+			}
+			if named, isNamed := recv.(*types.Named); isNamed {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+					(obj.Name() == "WaitGroup" || obj.Name() == "Cond") {
+					return "waits on sync." + obj.Name()
+				}
+			}
+		}
+		return ""
+	}
+	if fn, isFn := info.Uses[sel.Sel].(*types.Func); isFn && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+			return "calls time.Sleep"
+		}
+	}
+	return ""
+}
+
+// forEachExecutedCall visits the calls a body executes on its own
+// goroutine: it skips go statements and the bodies of function literals
+// that are merely defined, while descending into immediately-invoked and
+// deferred literals.
+func forEachExecutedCall(body *ast.BlockStmt, visit func(*ast.CallExpr)) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				return false
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body)
+				} else {
+					visit(n.Call)
+				}
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				return false
+			case *ast.CallExpr:
+				if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body)
+				} else {
+					visit(n)
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// heldFact is the may-hold dataflow fact: the set of held mutex receiver
+// paths. Facts are immutable; transfer copies before mutating.
+type heldFact map[string]bool
+
+func (h heldFact) clone() heldFact {
+	c := make(heldFact, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+func (h heldFact) names() string {
+	names := make([]string, 0, len(h))
+	for k := range h {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// checkLockreach runs the may-hold dataflow over one function body and
+// reports transitively-blocking calls made while any mutex may be held.
+// Function literals are analyzed independently with an empty held set — a
+// goroutine or callback does not inherit the spawner's critical section.
+func checkLockreach(pass *framework.Pass, body *ast.BlockStmt, summaries blockSummaries) {
+	cfg := framework.BuildCFG(body)
+	transfer := func(b *framework.Block, in heldFact) heldFact {
+		out := in.clone()
+		for _, n := range b.Nodes {
+			applyLockOps(pass.TypesInfo, n, out)
+		}
+		return out
+	}
+	join := func(a, b heldFact) heldFact {
+		m := a.clone()
+		for k := range b {
+			m[k] = true
+		}
+		return m
+	}
+	equal := func(a, b heldFact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	entry := framework.ForwardDataflow(cfg, heldFact{}, transfer, join, equal)
+
+	reported := map[token.Pos]bool{}
+	for _, blk := range cfg.Blocks {
+		held, ok := entry[blk]
+		if !ok {
+			continue // unreachable block
+		}
+		held = held.clone()
+		for _, n := range blk.Nodes {
+			if len(held) > 0 {
+				checkNodeCalls(pass, n, held, summaries, reported)
+			}
+			applyLockOps(pass.TypesInfo, n, held)
+		}
+	}
+
+	// Nested literals get their own, lock-free analysis.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLockreach(pass, lit.Body, summaries)
+			return false
+		}
+		return true
+	})
+}
+
+// applyLockOps mutates the held set for any Lock/Unlock statements in the
+// node. Deferred unlocks are ignored: the mutex stays held to function
+// exit, which the fact already models.
+func applyLockOps(info *types.Info, n ast.Node, held heldFact) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	key, op, ok := lockreachMutexOp(info, es.X)
+	if !ok {
+		return
+	}
+	switch op {
+	case "Lock", "RLock":
+		held[key] = true
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+}
+
+// checkNodeCalls reports calls within one CFG node whose callees
+// transitively block, while held is nonempty. Direct blocking operations
+// and Send-named calls are lockdiscipline's findings and are skipped here;
+// lock/unlock statements themselves are the transfer function's business.
+func checkNodeCalls(pass *framework.Pass, n ast.Node, held heldFact, summaries blockSummaries, reported map[token.Pos]bool) {
+	if es, ok := n.(*ast.ExprStmt); ok {
+		if _, _, isLockOp := lockreachMutexOp(pass.TypesInfo, es.X); isLockOp {
+			return
+		}
+	}
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if reported[n.Pos()] {
+				return true
+			}
+			if blockingCallName(pass.TypesInfo, n) != "" {
+				return true // lockdiscipline's finding
+			}
+			for _, callee := range pass.Prog.CallGraph.Callees(pass.TypesInfo, n) {
+				why := summaries[callee]
+				if why == nil {
+					continue
+				}
+				reported[n.Pos()] = true
+				pass.Reportf(n.Pos(),
+					"call to %s while holding %s: %s %s (%s); release the lock first",
+					callee.Name(), held.names(), callee.Name(), why.what, why.pos)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// lockreachMutexOp mirrors lockdiscipline's mutexOp without needing a
+// walker instance.
+func lockreachMutexOp(info *types.Info, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, found := info.Selections[sel]
+	if !found || !isSyncMutex(selection.Recv()) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

@@ -1,0 +1,142 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sendforget/internal/analyzers/framework"
+)
+
+// Seedtaint is the interprocedural upgrade of seedflow: it tracks seed
+// values through assignments, struct fields, and any chain of function
+// calls, and reports when a seed that was *derived by arithmetic* reaches
+// rng.New. Seedflow catches `rng.New(seed+1)` written in one place; it is
+// blind the moment the derivation hides behind a helper —
+//
+//	func deriveSeed(base int64, u int64) int64 { return base + u + 1 }
+//	...
+//	r := rng.New(deriveSeed(cfg.Seed, id))
+//
+// — which is exactly how the PR 3 collision survived review: the cluster's
+// additive scheme lived in a seedFor helper, syntactically far from the
+// rng.New call it fed. Seedtaint replays that bug class end-to-end: the
+// seed parameter is tainted at the call, the addition inside the helper
+// promotes it to "arithmetically derived", the return carries the taint
+// back, and the rng.New sink fires.
+//
+// Taint lattice: seedTaintIsSeed (an integer value named like a seed, or
+// the result of rng.DeriveSeed) < seedTaintDerived (arithmetic applied to a
+// seed). Only seedTaintDerived is reportable; plain seeds flowing into
+// rng.New are the normal, correct pattern. rng.DeriveSeed sanitizes: its
+// result is a clean seed no matter what its arguments were (seedflow still
+// polices arithmetic *in* those arguments syntactically).
+//
+// internal/rng is excluded from propagation entirely — its SplitMix64 and
+// xoshiro internals are the arithmetic this analyzer exists to ban
+// elsewhere.
+var Seedtaint = &framework.Analyzer{
+	Name: "seedtaint",
+	Doc:  "no arithmetic-derived seed may reach rng.New through any chain of calls or assignments",
+	Run:  runSeedtaint,
+}
+
+const (
+	seedTaintIsSeed  framework.Taint = 1
+	seedTaintDerived framework.Taint = 2
+)
+
+const rngPkgPath = "sendforget/internal/rng"
+
+func runSeedtaint(pass *framework.Pass) error {
+	if pass.Pkg.Path() == rngPkgPath {
+		return nil
+	}
+	result := pass.Prog.Shared("seedtaint", func() any {
+		return framework.SolveTaint(pass.Prog, framework.TaintSpec{
+			Include: func(p *framework.Package) bool { return p.Path != rngPkgPath },
+			Source:  seedTaintSource,
+			Binary:  seedTaintBinary,
+			Call:    seedTaintCall,
+		})
+	}).(*framework.TaintResult)
+
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRngFunc(pass.TypesInfo, call, "New") || len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			if result.Eval(pass.TypesInfo, arg) == seedTaintDerived && !reported[arg.Pos()] {
+				reported[arg.Pos()] = true
+				pass.Reportf(arg.Pos(),
+					"arithmetic-derived seed reaches rng.New (through assignments/calls): derive with rng.DeriveSeed so streams cannot collide")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedTaintSource marks integer-typed seed-named identifiers and selectors
+// as seeds — the same naming heuristic seedflow uses, so the two analyzers
+// agree on what a seed is.
+func seedTaintSource(info *types.Info, e ast.Expr) framework.Taint {
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return 0
+	}
+	if !isSeedName(name) {
+		return 0
+	}
+	if t := info.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return seedTaintIsSeed
+		}
+	}
+	return 0
+}
+
+// seedTaintBinary promotes any seed flowing through stream-aliasing
+// arithmetic to "derived". Comparisons and logical operators do not
+// produce seed values at all.
+func seedTaintBinary(op token.Token, x, y framework.Taint) framework.Taint {
+	if x == 0 && y == 0 {
+		return 0
+	}
+	if seedflowOps[op] {
+		return seedTaintDerived
+	}
+	// Every other binary operator (comparisons, &&, ||) yields a bool, not
+	// a seed value.
+	return 0
+}
+
+// seedTaintCall sanitizes rng.DeriveSeed — the sanctioned mixer returns a
+// clean seed regardless of input taint.
+func seedTaintCall(info *types.Info, call *ast.CallExpr, callees []*types.Func, arg func(int) framework.Taint) (framework.Taint, bool) {
+	if isRngFunc(info, call, "DeriveSeed") {
+		return seedTaintIsSeed, true
+	}
+	return 0, false
+}
+
+// isRngFunc reports whether the call targets sendforget/internal/rng.<name>.
+func isRngFunc(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == rngPkgPath
+}

@@ -1,0 +1,86 @@
+// Package errdrop exercises the errdrop analyzer: transport send/receive
+// errors must be consulted — checked, returned, or recorded — never
+// discarded. In fixtures, methods named Send/Recv/Receive/SendTo stand in
+// for the transport layer.
+package errdrop
+
+import "errors"
+
+type ep struct{}
+
+// Send and Recv mimic the transport.Endpoint surface.
+func (ep) Send(to int, m string) error { return errors.New("send") }
+func (ep) Recv() (string, error)       { return "", errors.New("recv") }
+func (ep) Close() error                { return errors.New("close") }
+
+// sender mirrors runtime.Sender: errdrop resolves the interface dispatch
+// to the fixture transport through the call graph.
+type sender interface {
+	Send(to int, m string) error
+}
+
+func dropStmt(e ep) {
+	e.Send(1, "a") // want `error returned by \(.*ep\)\.Send is discarded`
+}
+
+func dropBlank(e ep) {
+	_ = e.Send(1, "a") // want `error returned by \(.*ep\)\.Send is assigned to _`
+}
+
+// The bound-but-dead shape: err is named, never read. The trailing `_ = err`
+// pacifies the compiler and is itself the discard idiom errdrop rejects.
+func dropDead(e ep) {
+	err := e.Send(1, "a") // want `error err from \(.*ep\)\.Send is bound but never consulted`
+	_ = err
+}
+
+func dropTupleBlank(e ep) string {
+	msg, _ := e.Recv() // want `error returned by \(.*ep\)\.Recv is assigned to _`
+	return msg
+}
+
+func dropViaInterface(s sender) {
+	s.Send(2, "b") // want `error returned by .*Send is discarded`
+}
+
+// Sanctioned shapes below.
+
+func checked(e ep) error {
+	if err := e.Send(3, "c"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func propagated(e ep) error {
+	return e.Send(4, "d")
+}
+
+func consulted(e ep) int {
+	err := e.Send(5, "e")
+	if err != nil {
+		return 1
+	}
+	return 0
+}
+
+// Close errors carry no accounting value on shutdown paths.
+func closer(e ep) {
+	e.Close()
+}
+
+// Deferred and spawned sends have no caller left to consult the error;
+// goroleak polices the spawned shape separately.
+func deferred(e ep) {
+	defer e.Send(6, "f")
+}
+
+func spawned(e ep) {
+	go e.Send(7, "g")
+}
+
+// The escape hatch, for reviewed exceptions.
+func allowed(e ep) {
+	//lint:allow errdrop best-effort notification, loss is recorded by the receiver
+	e.Send(8, "h")
+}

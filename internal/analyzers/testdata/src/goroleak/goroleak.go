@@ -1,0 +1,109 @@
+// Package goroleak exercises the goroleak analyzer: every goroutine needs a
+// termination path (its CFG can reach a return) and a shutdown/sync
+// mechanism (a channel receive, context.Done, or WaitGroup.Done) so Stop
+// paths can end it and tests can await it.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	jobs chan int
+	stop chan struct{}
+	n    int
+}
+
+// spin can never return: its CFG has no path to the exit.
+func spin(w *worker) {
+	for {
+		w.n++
+	}
+}
+
+func leakSpin(w *worker) {
+	go spin(w) // want `goroutine cannot terminate`
+}
+
+// bump returns, but nothing can stop or await the goroutine running it.
+func bump(w *worker) { w.n++ }
+
+func fireAndForget(w *worker) {
+	go bump(w) // want `no shutdown or synchronization mechanism`
+}
+
+// loop is the sanctioned gossip-loop shape: a select with a stop arm.
+func (w *worker) loop() {
+	for {
+		select {
+		case j := <-w.jobs:
+			w.n += j
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func startLoop(w *worker) {
+	go w.loop()
+}
+
+// Range over a channel terminates when the channel closes.
+func drain(w *worker) {
+	go func() {
+		for j := range w.jobs {
+			w.n += j
+		}
+	}()
+}
+
+// A WaitGroup-tracked one-shot: Stop paths can Wait for it.
+func tracked(w *worker, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bump(w)
+	}()
+}
+
+// Context-governed shutdown.
+func watch(ctx context.Context, w *worker) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-w.jobs:
+				w.n += j
+			}
+		}
+	}()
+}
+
+// done hides the stop receive behind a helper; the analyzer follows the
+// call graph to find it.
+func done(w *worker) bool {
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func viaHelper(w *worker) {
+	go func() {
+		for {
+			if done(w) {
+				return
+			}
+		}
+	}()
+}
+
+// The escape hatch, for reviewed exceptions.
+func allowedSpin(w *worker) {
+	//lint:allow goroleak measurement spinner, process-lifetime by design
+	go spin(w)
+}
