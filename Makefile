@@ -1,7 +1,7 @@
 # The vet target is the one CI runs (.github/workflows/ci.yml); keep the
 # two command lines identical so contributors reproduce CI findings exactly.
 
-.PHONY: build test race vet
+.PHONY: build test race vet bench
 
 build:
 	go build ./...
@@ -15,3 +15,8 @@ race:
 vet:
 	go vet ./...
 	go run ./cmd/sfvet ./...
+
+# Runs the cluster tick benchmark family and refreshes BENCH_cluster.json.
+# FULL=1 make bench includes the 1M-node round.
+bench:
+	scripts/bench.sh

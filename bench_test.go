@@ -229,20 +229,64 @@ func BenchmarkRuntimeTick(b *testing.B) {
 	}
 }
 
-// BenchmarkClusterTick measures one full synchronous round of a 500-node
-// in-memory cluster (500 initiate steps plus all triggered receive steps,
-// loss decisions, and handler dispatches).
+// BenchmarkClusterTick measures one full synchronous round (n initiate
+// steps plus all triggered receive steps and loss decisions) on both
+// cluster substrates, reporting ns/node-tick so runs at different n compare
+// directly:
+//
+//   - pernode: the legacy per-node path (per-node locks, handler dispatch,
+//     per-message allocations) at its practical sizes.
+//   - sharded: the sharded tick engine at 10k, 100k, and (full mode only;
+//     skipped under -short) 1M nodes.
+//
+// scripts/bench.sh runs this family and records BENCH_cluster.json.
 func BenchmarkClusterTick(b *testing.B) {
-	cluster, err := runtime.NewCluster(runtime.ClusterConfig{
-		N: 500, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 10,
+	pernode := func(n int) func(*testing.B) {
+		return func(b *testing.B) {
+			cluster, err := runtime.NewCluster(runtime.ClusterConfig{
+				N: n, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 10,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cluster.TickRound()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/node-tick")
+		}
+	}
+	sharded := func(n int) func(*testing.B) {
+		return func(b *testing.B) {
+			e, err := runtime.NewSharded(runtime.ShardedConfig{
+				N: n, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 10,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			// Warm up the arenas so the timed region measures the
+			// zero-allocation steady state, not one-time buffer growth.
+			for i := 0; i < 8; i++ {
+				e.TickRound()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.TickRound()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/node-tick")
+		}
+	}
+	b.Run("pernode/n=500", pernode(500))
+	b.Run("pernode/n=10k", pernode(10_000))
+	b.Run("sharded/n=10k", sharded(10_000))
+	b.Run("sharded/n=100k", sharded(100_000))
+	b.Run("sharded/n=1M", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("1M-node round skipped under -short")
+		}
+		sharded(1_000_000)(b)
 	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cluster.TickRound()
-	}
 }
 
 // BenchmarkGlobalChainBuild measures exact state-space enumeration of the

@@ -1,17 +1,19 @@
 // Package equivalence is the cross-substrate harness behind Proposition
-// 5.2: the sequential discrete-event engine (internal/engine) and the
-// concurrent runtime cluster (internal/runtime) drive the same per-node step
-// cores, so — up to scheduling randomness — they must induce statistically
-// matching overlays. The harness runs one protocol on both substrates from
-// the same circulant bootstrap topology under the same loss model, checks
-// the protocol's per-view invariant on every resulting view, and summarizes
-// each overlay's in-degree distribution so tests can assert the two
-// substrates agree (small Kolmogorov-Smirnov distance, close mean degrees).
+// 5.2: the sequential discrete-event engine (internal/engine), the
+// concurrent runtime cluster (internal/runtime.Cluster), and the sharded
+// tick engine (internal/runtime.ShardedCluster) drive the same per-node
+// step cores, so — up to scheduling randomness — they must induce
+// statistically matching overlays. The harness runs one protocol on all
+// three substrates from the same circulant bootstrap topology under the
+// same loss model, checks the protocol's per-view invariant on every
+// resulting view, and summarizes each overlay's in-degree distribution so
+// tests can assert the substrates agree pairwise (small Kolmogorov-Smirnov
+// distance, close mean degrees).
 //
-// Both runs are fully deterministic: the engine is seeded, and the cluster
-// is ticked manually round by round (no timers, no goroutine scheduling
-// influence on protocol state beyond the serial handler execution of the
-// in-memory network).
+// All runs are fully deterministic: the engine is seeded, and both cluster
+// flavors are ticked manually round by round (no timers, no goroutine
+// scheduling influence on protocol state — the sharded engine is
+// bit-reproducible for any worker count by construction).
 package equivalence
 
 import (
@@ -54,6 +56,10 @@ type Config struct {
 	NewProtocol func() (protocol.Protocol, error)
 	// NewCore builds one fresh step core per concurrent runtime node.
 	NewCore protocol.CoreFactory
+	// ShardedWorkers bounds the sharded substrate's worker pool (0 selects
+	// the engine's default). The sharded engine is bit-reproducible for any
+	// worker count, so this only affects wall-clock time.
+	ShardedWorkers int
 }
 
 // Substrate summarizes one substrate's final overlay.
@@ -67,13 +73,20 @@ type Substrate struct {
 	SelfEdges   int
 }
 
-// Result pairs the two substrate summaries with their comparison stats.
+// Result groups the three substrate summaries with their pairwise
+// comparison stats.
 type Result struct {
 	Engine  Substrate
 	Cluster Substrate
-	// KS is the Kolmogorov-Smirnov distance between the two in-degree
-	// distributions.
+	Sharded Substrate
+	// KS is the Kolmogorov-Smirnov distance between the engine's and the
+	// cluster's in-degree distributions (the original two-substrate
+	// comparison; the name predates the third substrate).
 	KS float64
+	// KSEngineSharded and KSClusterSharded are the distances pairing the
+	// sharded tick engine with each of the other substrates.
+	KSEngineSharded  float64
+	KSClusterSharded float64
 }
 
 // Run executes the comparison. Beyond building the summaries it validates,
@@ -152,10 +165,44 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("equivalence: cluster substrate: %w", err)
 	}
 
+	// Sharded substrate, same manual round discipline. Its seed stream is
+	// derived with a different tweak than the cluster's so the two do not
+	// replay each other's randomness.
+	shCond, err := newConditions()
+	if err != nil {
+		return nil, err
+	}
+	sh, err := runtime.NewSharded(runtime.ShardedConfig{
+		N:          cfg.N,
+		NewCore:    cfg.NewCore,
+		InitDegree: cfg.InitDegree,
+		Conditions: shCond,
+		Workers:    cfg.ShardedWorkers,
+		Seed:       rng.DeriveSeed(cfg.Seed, 2),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("equivalence: sharded cluster: %w", err)
+	}
+	defer sh.Close()
+	for i := 0; i < cfg.Rounds; i++ {
+		sh.TickRound()
+	}
+	sh.DrainDelayed()
+	if err := sh.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("equivalence: sharded substrate: %w", err)
+	}
+	shSub, err := summarize(cfg, sh.Views(), sh.Traffic())
+	if err != nil {
+		return nil, fmt.Errorf("equivalence: sharded substrate: %w", err)
+	}
+
 	return &Result{
-		Engine:  *engSub,
-		Cluster: *clSub,
-		KS:      stats.KSDistance(engSub.InDegreePMF, clSub.InDegreePMF),
+		Engine:           *engSub,
+		Cluster:          *clSub,
+		Sharded:          *shSub,
+		KS:               stats.KSDistance(engSub.InDegreePMF, clSub.InDegreePMF),
+		KSEngineSharded:  stats.KSDistance(engSub.InDegreePMF, shSub.InDegreePMF),
+		KSClusterSharded: stats.KSDistance(clSub.InDegreePMF, shSub.InDegreePMF),
 	}, nil
 }
 

@@ -70,18 +70,18 @@ func cases() []equivCase {
 }
 
 // TestSubstrateEquivalence is the Proposition 5.2 check for every protocol:
-// the sequential engine and the manually-ticked concurrent cluster, run from
-// the same bootstrap topology under the same loss rate, must produce
-// overlays with statistically matching in-degree distributions and mean
-// outdegrees. Results are pooled over several seeds to suppress the
-// per-run sampling noise of a 60-node system.
+// the sequential engine, the manually-ticked concurrent cluster, and the
+// sharded tick engine, run from the same bootstrap topology under the same
+// loss rate, must produce overlays with pairwise statistically matching
+// in-degree distributions and mean outdegrees. Results are pooled over
+// several seeds to suppress the per-run sampling noise of a 60-node system.
 func TestSubstrateEquivalence(t *testing.T) {
 	seeds := []int64{11, 29, 47, 83}
 	for _, tc := range cases() {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			var engPMF, clPMF []float64
-			var engOut, clOut, engIn, clIn float64
+			var engPMF, clPMF, shPMF []float64
+			var engOut, clOut, shOut, engIn, clIn, shIn float64
 			for _, seed := range seeds {
 				res, err := Run(Config{
 					N:          tc.n,
@@ -99,27 +99,44 @@ func TestSubstrateEquivalence(t *testing.T) {
 				}
 				engPMF = accumulate(engPMF, res.Engine.InDegreePMF)
 				clPMF = accumulate(clPMF, res.Cluster.InDegreePMF)
+				shPMF = accumulate(shPMF, res.Sharded.InDegreePMF)
 				engOut += res.Engine.MeanOut
 				clOut += res.Cluster.MeanOut
+				shOut += res.Sharded.MeanOut
 				engIn += res.Engine.MeanIn
 				clIn += res.Cluster.MeanIn
+				shIn += res.Sharded.MeanIn
 			}
 			k := float64(len(seeds))
-			engOut, clOut, engIn, clIn = engOut/k, clOut/k, engIn/k, clIn/k
+			engOut, clOut, shOut = engOut/k, clOut/k, shOut/k
+			engIn, clIn, shIn = engIn/k, clIn/k, shIn/k
 			scale(engPMF, 1/k)
 			scale(clPMF, 1/k)
+			scale(shPMF, 1/k)
 
-			ks := stats.KSDistance(engPMF, clPMF)
-			t.Logf("meanOut engine=%.2f cluster=%.2f, meanIn engine=%.2f cluster=%.2f, KS=%.3f",
-				engOut, clOut, engIn, clIn, ks)
-			if ks > 0.15 {
-				t.Errorf("in-degree KS distance %.3f between substrates exceeds 0.15", ks)
+			pairs := []struct {
+				name                 string
+				aPMF                 []float64
+				bPMF                 []float64
+				aOut, bOut, aIn, bIn float64
+			}{
+				{"engine/cluster", engPMF, clPMF, engOut, clOut, engIn, clIn},
+				{"engine/sharded", engPMF, shPMF, engOut, shOut, engIn, shIn},
+				{"cluster/sharded", clPMF, shPMF, clOut, shOut, clIn, shIn},
 			}
-			if d := relDiff(engOut, clOut); d > 0.10 {
-				t.Errorf("mean outdegree differs by %.1f%% (engine %.2f, cluster %.2f)", d*100, engOut, clOut)
-			}
-			if d := relDiff(engIn, clIn); d > 0.10 {
-				t.Errorf("mean indegree differs by %.1f%% (engine %.2f, cluster %.2f)", d*100, engIn, clIn)
+			for _, p := range pairs {
+				ks := stats.KSDistance(p.aPMF, p.bPMF)
+				t.Logf("%s: meanOut %.2f vs %.2f, meanIn %.2f vs %.2f, KS=%.3f",
+					p.name, p.aOut, p.bOut, p.aIn, p.bIn, ks)
+				if ks > 0.15 {
+					t.Errorf("%s: in-degree KS distance %.3f exceeds 0.15", p.name, ks)
+				}
+				if d := relDiff(p.aOut, p.bOut); d > 0.10 {
+					t.Errorf("%s: mean outdegree differs by %.1f%% (%.2f vs %.2f)", p.name, d*100, p.aOut, p.bOut)
+				}
+				if d := relDiff(p.aIn, p.bIn); d > 0.10 {
+					t.Errorf("%s: mean indegree differs by %.1f%% (%.2f vs %.2f)", p.name, d*100, p.aIn, p.bIn)
+				}
 			}
 		})
 	}
@@ -142,10 +159,12 @@ func TestRunDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.KS != b.KS || a.Engine.Traffic != b.Engine.Traffic || a.Cluster.Traffic != b.Cluster.Traffic {
+	if a.KS != b.KS || a.KSEngineSharded != b.KSEngineSharded ||
+		a.Engine.Traffic != b.Engine.Traffic || a.Cluster.Traffic != b.Cluster.Traffic ||
+		a.Sharded.Traffic != b.Sharded.Traffic {
 		t.Errorf("two identical runs diverged: %+v vs %+v", a, b)
 	}
-	if a.Engine.Traffic.Sends == 0 || a.Cluster.Traffic.Sends == 0 {
+	if a.Engine.Traffic.Sends == 0 || a.Cluster.Traffic.Sends == 0 || a.Sharded.Traffic.Sends == 0 {
 		t.Error("a substrate reported no traffic")
 	}
 }
@@ -234,9 +253,9 @@ func TestTrafficExactEqualityLossless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Engine.Traffic != res.Cluster.Traffic {
-		t.Errorf("lossless traffic differs across substrates:\n engine  %+v\n cluster %+v",
-			res.Engine.Traffic, res.Cluster.Traffic)
+	if res.Engine.Traffic != res.Cluster.Traffic || res.Engine.Traffic != res.Sharded.Traffic {
+		t.Errorf("lossless traffic differs across substrates:\n engine  %+v\n cluster %+v\n sharded %+v",
+			res.Engine.Traffic, res.Cluster.Traffic, res.Sharded.Traffic)
 	}
 	want := n * rounds
 	if res.Engine.Traffic.Sends != want {
@@ -245,7 +264,7 @@ func TestTrafficExactEqualityLossless(t *testing.T) {
 	for _, sub := range []struct {
 		name string
 		tr   metrics.Traffic
-	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}, {"sharded", res.Sharded.Traffic}} {
 		if sub.tr.Losses != 0 || sub.tr.DeadLetters != 0 || sub.tr.Delayed != 0 {
 			t.Errorf("%s: lossless run had losses/dead letters/delays: %+v", sub.name, sub.tr)
 		}
@@ -274,13 +293,19 @@ func TestTrafficConservationIdentity(t *testing.T) {
 	for _, sub := range []struct {
 		name string
 		tr   metrics.Traffic
-	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}, {"sharded", res.Sharded.Traffic}} {
 		if sub.tr.Sends != sub.tr.Losses+sub.tr.Deliveries+sub.tr.DeadLetters {
 			t.Errorf("%s: conservation identity violated: %+v", sub.name, sub.tr)
 		}
 		if sub.tr.Losses != 0 || sub.tr.DeadLetters != 0 {
 			t.Errorf("%s: lossless full-membership run lost messages: %+v", sub.name, sub.tr)
 		}
+	}
+	// Both cluster flavors tick every node once per round, so their volumes
+	// differ only by seed noise (unlike the engine's sampling offset below).
+	c, s := float64(res.Cluster.Traffic.Sends), float64(res.Sharded.Traffic.Sends)
+	if diff := (c - s) / c; diff > 0.05 || diff < -0.05 {
+		t.Errorf("cluster and sharded send volumes diverge beyond noise: %v vs %v", c, s)
 	}
 	// The volumes differ systematically, not just by noise: the cluster
 	// ticks every node exactly once per round while the engine schedules n
@@ -323,7 +348,7 @@ func TestTrafficUnderBurstLoss(t *testing.T) {
 	for _, sub := range []struct {
 		name string
 		tr   metrics.Traffic
-	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}, {"sharded", res.Sharded.Traffic}} {
 		if sub.tr.Sends != sub.tr.Losses+sub.tr.Deliveries+sub.tr.DeadLetters {
 			t.Errorf("%s: conservation identity violated under burst loss: %+v", sub.name, sub.tr)
 		}
@@ -363,7 +388,7 @@ func TestTrafficUnderDelay(t *testing.T) {
 	for _, sub := range []struct {
 		name string
 		tr   metrics.Traffic
-	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}} {
+	}{{"engine", res.Engine.Traffic}, {"cluster", res.Cluster.Traffic}, {"sharded", res.Sharded.Traffic}} {
 		if sub.tr.Delayed == 0 {
 			t.Errorf("%s: delay of 1..3 rounds delayed nothing", sub.name)
 		}

@@ -238,6 +238,11 @@ func (c *Conditions) separated(from, to peer.ID) bool {
 func (c *Conditions) Decide(from, to peer.ID, r *rng.RNG) Verdict {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.decideLocked(from, to, r)
+}
+
+// decideLocked implements the decision order. Callers hold c.mu.
+func (c *Conditions) decideLocked(from, to peer.ID, r *rng.RNG) Verdict {
 	c.c.Decisions++
 	if c.separated(from, to) {
 		c.c.PartitionDrops++
@@ -261,6 +266,60 @@ func (c *Conditions) Decide(from, to peer.ID, r *rng.RNG) Verdict {
 	}
 	return Verdict{Delay: d}
 }
+
+// A Session is a single-owner decision pass over the stack: Begin acquires
+// the lock once and Close releases it, so a routing loop ruling on tens of
+// thousands of messages per round pays the synchronization cost once
+// instead of per message. Begin also pre-resolves the base model's
+// destination-aware interface and notes whether any link overrides or an
+// active partition exist, so the common uniform-loss configuration decides
+// each message with one model call and a couple of branches.
+//
+// While a session is open every other Conditions method blocks; the owner
+// must Close before calling them. Session.Decide draws from r in exactly
+// the order the method form does, so seeded decision streams are unchanged.
+type Session struct {
+	c      *Conditions
+	dest   loss.DestinationModel // base pre-asserted, nil if not destination-aware
+	simple bool                  // no link overrides and no active partition
+}
+
+// Begin opens a decision session, holding the stack's lock until Close.
+func (c *Conditions) Begin() Session {
+	c.mu.Lock()
+	dm, _ := c.base.(loss.DestinationModel)
+	return Session{c: c, dest: dm, simple: len(c.links) == 0 && c.group == nil}
+}
+
+// Decide is Conditions.Decide without the per-call lock; see Begin.
+func (s *Session) Decide(from, to peer.ID, r *rng.RNG) Verdict {
+	c := s.c
+	if !s.simple {
+		return c.decideLocked(from, to, r)
+	}
+	c.c.Decisions++
+	var lost bool
+	if s.dest != nil {
+		lost = s.dest.LostTo(to, r)
+	} else {
+		lost = c.base.Lost(r)
+	}
+	if lost {
+		c.c.ModelDrops++
+		return Verdict{Drop: DropModel}
+	}
+	d := c.delay.Fixed
+	if c.delay.Jitter > 0 {
+		d += r.Intn(c.delay.Jitter + 1)
+	}
+	if d > 0 {
+		c.c.Delayed++
+	}
+	return Verdict{Delay: d}
+}
+
+// Close ends the session, releasing the stack.
+func (s *Session) Close() { s.c.mu.Unlock() }
 
 // lostTo consults a model, routing through the destination-aware interface
 // when the model implements it (loss.PerDest keeps working under the

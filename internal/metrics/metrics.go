@@ -48,6 +48,15 @@ type Traffic struct {
 	Delayed int
 }
 
+// Conserved reports whether the traffic identity
+// Sends = Losses + Deliveries + DeadLetters holds — true exactly when every
+// attempted transmission has been accounted a final fate, i.e. after the
+// substrate's delay queue has drained. Cross-substrate tests assert it on
+// the engine, the cluster, and the sharded cluster alike.
+func (t Traffic) Conserved() bool {
+	return t.Sends == t.Losses+t.Deliveries+t.DeadLetters
+}
+
 // LossRate returns the empirical loss fraction over all sends.
 func (t Traffic) LossRate() float64 {
 	if t.Sends == 0 {

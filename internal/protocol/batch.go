@@ -1,0 +1,125 @@
+package protocol
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// This file defines the allocation-free message path used by batched drivers
+// (the sharded cluster of internal/runtime). The classic StepCore methods
+// return freshly allocated []Outgoing and []peer.ID values — fine at the
+// n=500 scale the concurrent runtime was built for, but at 10^5..10^6 nodes
+// per tick the allocator dominates the round. The batch path replaces the
+// per-message allocations with two flat, reusable buffers per shard: message
+// headers (FlatMsg) and an id arena they index into.
+
+// FlatMsg is a compact message header. Messages of the dominant two-id shape
+// (every Figure 5.1 gossip message) carry their ids inline in IDs, so the
+// hot path never touches the arena; longer payloads live in the owning
+// Outbox's arena at [IDOff, IDOff+IDLen). Headers stay valid across arena
+// growth because they hold offsets, not slices.
+type FlatMsg struct {
+	To, From     peer.ID
+	IDs          [2]peer.ID // inline storage when IDLen <= 2
+	IDOff, IDLen int32
+	Kind         Kind
+	Dup          bool
+}
+
+// Outbox accumulates outgoing messages with no per-message allocation in the
+// steady state: both backing slices retain their capacity across Reset, so
+// once a driver has warmed up, Append never touches the allocator. An Outbox
+// belongs to one shard (or one driver) at a time; it is not safe for
+// concurrent use.
+type Outbox struct {
+	Msgs []FlatMsg
+	IDs  []peer.ID // the id arena Msgs index into
+}
+
+// Reset forgets the buffered messages, keeping the capacity.
+func (o *Outbox) Reset() {
+	o.Msgs = o.Msgs[:0]
+	o.IDs = o.IDs[:0]
+}
+
+// Len returns the number of buffered messages.
+func (o *Outbox) Len() int { return len(o.Msgs) }
+
+// Append buffers one message. Up to two ids are stored inline in the
+// header; longer payloads are copied into the arena, so callers may pass
+// views into their own (or another outbox's) storage either way.
+func (o *Outbox) Append(to, from peer.ID, kind Kind, dup bool, ids ...peer.ID) {
+	m := FlatMsg{To: to, From: from, IDLen: int32(len(ids)), Kind: kind, Dup: dup}
+	if len(ids) <= 2 {
+		copy(m.IDs[:], ids)
+	} else {
+		m.IDOff = int32(len(o.IDs))
+		o.IDs = append(o.IDs, ids...)
+	}
+	o.Msgs = append(o.Msgs, m)
+}
+
+// Append2 buffers one two-id message — the shape every gossip message of
+// the Figure 5.1 protocol family has. It is Append specialized to fixed
+// arity: one header store, no variadic slice, no arena traffic.
+func (o *Outbox) Append2(to, from peer.ID, kind Kind, dup bool, id0, id1 peer.ID) {
+	o.Msgs = append(o.Msgs, FlatMsg{
+		To: to, From: from,
+		IDs:   [2]peer.ID{id0, id1},
+		IDLen: 2,
+		Kind:  kind, Dup: dup,
+	})
+}
+
+// MsgIDs returns message m's ids. The slice aliases the header (inline ids)
+// or the arena: it is valid until the next Reset and must not be retained
+// past it. m must point into o.Msgs.
+func (o *Outbox) MsgIDs(m *FlatMsg) []peer.ID {
+	if m.IDLen <= 2 {
+		return m.IDs[:m.IDLen]
+	}
+	return o.IDs[m.IDOff : m.IDOff+m.IDLen]
+}
+
+// Packet is a delivered message as the batch path presents it to a receive
+// step. IDs aliases driver-owned buffers: it is valid only for the duration
+// of the call and must not be retained or mutated.
+type Packet struct {
+	Kind Kind
+	From peer.ID
+	IDs  []peer.ID
+	Dup  bool
+}
+
+// Message converts the packet to the classic Message shape. The IDs slice is
+// shared, not copied: the same aliasing rules apply.
+func (p Packet) Message() Message {
+	return Message{Kind: p.Kind, From: p.From, IDs: p.IDs, Dup: p.Dup}
+}
+
+// BatchStepCore is an optional StepCore extension for batched drivers. A
+// core that implements it gives the sharded cluster an allocation-free tick:
+// initiate and receive steps write outgoing messages straight into a
+// driver-owned Outbox instead of returning freshly allocated slices. The
+// methods must be behaviorally identical to Initiate/Receive in protocol
+// terms — same view mutations, same message content — though the RNG draw
+// mapping may differ (the substrates derive distinct streams anyway), and
+// the core's internal diagnostics (counters, dependence latches) are NOT
+// maintained: batched drivers account per shard through the returned
+// counts, so the hot path never dirties the core's memory.
+//
+// Drivers fall back to the classic methods for cores that do not implement
+// the interface, at the cost of per-message allocations.
+type BatchStepCore interface {
+	StepCore
+	// InitiateBatch runs the initiator step, appending any outgoing
+	// messages to out. It reports how many messages it appended and how
+	// many of those were duplicative sends, so the driver's per-shard
+	// accounting needs no second pass over the outbox; ok is false for a
+	// self-loop transformation (msgs and dups are then zero).
+	InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *Outbox) (msgs, dups int, ok bool)
+	// ReceiveBatch runs the receive step for pkt, appending any reply to
+	// out. It returns whether a reply was emitted.
+	ReceiveBatch(lv *view.View, u peer.ID, pkt Packet, r *rng.RNG, out *Outbox) bool
+}

@@ -1,0 +1,68 @@
+package sendforget
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// Batch-path implementation of the S&F step core (protocol.BatchStepCore):
+// the same Figure 5.1 steps as Initiate/Receive, but writing into a
+// driver-owned outbox and choosing empty slots through the view's
+// allocation-free pair selector, so a sharded tick over this core performs
+// zero steady-state allocations. View mutations match the classic methods
+// exactly; only the RNG draw mapping of the receive step's empty-slot
+// selection differs (documented on view.RandomEmptyPair). Per the
+// BatchStepCore contract, the core's own diagnostic state — the counters
+// and the dependence-tracking latches — is NOT updated on this path: the
+// driver accounts per shard, and touching the core per delivered message
+// would drag a second cache line into the random-destination receive.
+
+var _ protocol.BatchStepCore = (*Core)(nil)
+
+// InitiateBatch implements S&F-InitiateAction, appending the [u, w] message
+// to out instead of allocating an Outgoing slice. The body is InitiateStep
+// fused in place — same slot reads, same duplication rule, same fused clear —
+// with the pair selection drawn through the view's single-draw selector, so
+// one initiate costs one RNG word and no intermediate Send value.
+func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
+	i, j := lv.RandomPairFast(r)
+	v, w := lv.Slot(i), lv.Slot(j)
+	if v.IsNil() || w.IsNil() {
+		// Self-loop transformation: an empty selection sends nothing.
+		return 0, 0, false
+	}
+	dup := lv.Outdegree() <= c.dl
+	if !dup {
+		lv.ClearOccupiedPair(i, j)
+	}
+	out.Append2(v, u, protocol.KindGossip, dup, u, w)
+	if dup {
+		dups = 1
+	}
+	return 1, dups, true
+}
+
+// ReceiveBatch implements S&F-Receive. S&F never replies, so out is never
+// written; malformed packets are ignored exactly as in Receive. The view-full
+// check uses the view's own occupancy (outdegree can never exceed the slot
+// count, so full ⟺ d(u) = s), keeping the whole receive inside the view
+// header's cache line.
+func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
+	if pkt.Kind != protocol.KindGossip || len(pkt.IDs) != 2 {
+		return false
+	}
+	if lv.Full() {
+		// d(u) = s: the received ids are deleted.
+		return false
+	}
+	a, b, ok := lv.RandomEmptyPair(r)
+	if !ok {
+		// Outdegree below s with even parity guarantees two empty slots;
+		// reaching here means the view invariant was violated externally.
+		return false
+	}
+	lv.FillEmptyPair(a, b, pkt.IDs[0], pkt.IDs[1])
+	return false
+}

@@ -31,8 +31,8 @@ func InitiateStep(lv *view.View, u peer.ID, dl int, r *rng.RNG) (send Send, slot
 	}
 	dup := lv.Outdegree() <= dl
 	if !dup {
-		lv.Clear(i)
-		lv.Clear(j)
+		// Both slots were just read non-Nil, so the fused clear applies.
+		lv.ClearOccupiedPair(i, j)
 	}
 	return Send{To: v, IDs: [2]peer.ID{u, w}, Dup: dup}, [2]int{i, j}, true
 }

@@ -44,7 +44,17 @@ func splitMix64(state *uint64) uint64 {
 // New returns a generator seeded from seed. Distinct seeds yield independent
 // streams for all practical purposes.
 func New(seed int64) *RNG {
-	r := &RNG{}
+	r := new(RNG)
+	*r = NewState(seed)
+	return r
+}
+
+// NewState returns a seeded generator by value, producing the same stream as
+// New(seed). Engines that keep one generator per node (the sharded cluster
+// stores them in a flat slice indexed by node id) use it to avoid a heap
+// object and a pointer chase per node.
+func NewState(seed int64) RNG {
+	var r RNG
 	sm := uint64(seed)
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -153,6 +163,26 @@ func (r *RNG) Pair(n int) (i, j int) {
 	}
 	i = r.Intn(n)
 	j = r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// FastPair returns an ordered pair of distinct indices in [0, n) from a
+// single 64-bit draw: the word is split into two 32-bit lanes and each lane
+// is mapped by multiply-shift. The per-lane deviation from uniform is below
+// n/2^32 — invisible at protocol view sizes — and the draw mapping differs
+// from Pair, so the two are not stream-compatible under a shared seed. The
+// sharded substrate's batch step cores use this to halve the RNG cost of
+// pair selection. Requires 2 <= n <= 1<<31; it panics if n < 2.
+func (r *RNG) FastPair(n int) (i, j int) {
+	if n < 2 {
+		panic("rng: FastPair called with n < 2")
+	}
+	x := r.Uint64()
+	i = int((x >> 32) * uint64(n) >> 32)
+	j = int((x & 0xffffffff) * uint64(n-1) >> 32)
 	if j >= i {
 		j++
 	}

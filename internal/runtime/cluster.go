@@ -78,22 +78,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Seed = 1
 	}
 	if cfg.InitDegree == 0 {
-		probe, err := cfg.NewCore()
+		d, err := defaultInitDegree(cfg.NewCore, cfg.N)
 		if err != nil {
-			return nil, fmt.Errorf("runtime: core factory: %w", err)
-		}
-		d := probe.ViewSize() / 2
-		if d%2 != 0 {
-			d--
-		}
-		if d < 2 {
-			d = 2
-		}
-		if d >= cfg.N {
-			d = cfg.N - 1
-			if d%2 != 0 {
-				d--
-			}
+			return nil, err
 		}
 		cfg.InitDegree = d
 	}
@@ -142,6 +129,30 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		nw.Register(peer.ID(u), node.HandleMessage)
 	}
 	return c, nil
+}
+
+// defaultInitDegree derives the circulant bootstrap outdegree from a probe
+// core: an even value of about half the view size, clamped to [2, n-1] (and
+// kept even under the clamp). Both cluster flavors share it.
+func defaultInitDegree(f protocol.CoreFactory, n int) (int, error) {
+	probe, err := f()
+	if err != nil {
+		return 0, fmt.Errorf("runtime: core factory: %w", err)
+	}
+	d := probe.ViewSize() / 2
+	if d%2 != 0 {
+		d--
+	}
+	if d < 2 {
+		d = 2
+	}
+	if d >= n {
+		d = n - 1
+		if d%2 != 0 {
+			d--
+		}
+	}
+	return d, nil
 }
 
 // seedFor derives node u's RNG seed for its incarnation-th activation. A

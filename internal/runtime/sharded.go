@@ -1,0 +1,819 @@
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+
+	"sendforget/internal/faults"
+	"sendforget/internal/graph"
+	"sendforget/internal/loss"
+	"sendforget/internal/metrics"
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+// This file is the sharded synchronous tick engine: the 10^5..10^6-node
+// counterpart of Cluster. Cluster models the deployment shape — one
+// goroutine, one mutex, one transport registration per node — which tops out
+// around n=500 per tick because every round pays n lock acquisitions, n
+// handler-map dispatches, and several allocations per message. The sharded
+// engine keeps the exact same protocol code (the per-node StepCores) but
+// reorganizes the execution for scale:
+//
+//   - Node state is flat: all views live in one contiguous id array (one
+//     s-slot window per node, wrapped by view.Wrap), per-node RNGs are
+//     values in a flat slice, and per-node event counters are replaced by
+//     per-shard counter arrays summed at snapshot time.
+//   - A tick is three phases. Initiate: nodes are partitioned into
+//     contiguous shards and a bounded worker pool runs each shard's
+//     initiate steps, appending messages to the shard's outbox (reused
+//     flat buffers — zero steady-state allocations on the batch path).
+//     Route: a single sequential pass walks the outboxes in shard order,
+//     applies the fault stack per message (preserving one deterministic
+//     RNG stream for loss/delay decisions, exactly like the chunk-merge
+//     discipline of the markov CSR kernel), and buckets survivors into
+//     per-destination-shard inboxes. Deliver: the pool runs each inbox's
+//     receive steps; replies loop back through route until quiet.
+//   - Results are bit-identical for any worker count: shard geometry
+//     depends only on n (never on GOMAXPROCS), every shard is processed
+//     in node order by exactly one worker, and all cross-shard merging
+//     happens in the sequential route pass.
+//
+// Concurrency contract: all public methods are safe for concurrent use.
+// They serialize through a capacity-1 token channel (gate) instead of a
+// mutex, deliberately: the tick must dispatch to the worker pool (channel
+// sends and receives) while the engine is exclusively held, and the repo's
+// lock discipline — enforced by sfvet's lockdiscipline/lockreach analyzers —
+// forbids blocking operations under a sync.Mutex because a handler running
+// under a peer's lock can deadlock against it. That hazard cannot arise
+// here: pool workers never acquire the gate (they are fed work and state
+// exclusively by the gate holder), so the holder's channel operations with
+// the pool cannot cycle back to the gate. The token channel makes that
+// reasoning structural rather than suppressed.
+
+// ShardedConfig parameterizes a sharded tick cluster.
+type ShardedConfig struct {
+	// N is the number of node slots.
+	N int
+	// NewCore builds one fresh protocol step core per node. Cores that
+	// additionally implement protocol.BatchStepCore run allocation-free;
+	// others fall back to the classic per-message-allocating step methods.
+	NewCore protocol.CoreFactory
+	// InitDegree is the circulant bootstrap outdegree (0 selects an even
+	// value of about half the core's view size, as in NewCluster).
+	InitDegree int
+	// Loss is the uniform message loss rate, ignored when Conditions is
+	// set.
+	Loss float64
+	// Conditions, when non-nil, is the fault-injection stack consulted per
+	// message in the route phase. The instance must be dedicated to this
+	// cluster.
+	Conditions *faults.Conditions
+	// Workers bounds the worker pool (0 selects min(GOMAXPROCS, shards);
+	// 1 runs every phase inline with no goroutines at all). The worker
+	// count never influences results, only wall-clock time.
+	Workers int
+	// ShardSize overrides the nodes-per-shard geometry (0 selects an
+	// automatic size that depends only on N, keeping results machine-
+	// independent). Tests use small sizes to exercise multi-shard paths
+	// at small n.
+	ShardSize int
+	// Seed drives the fault-decision stream and the per-node RNGs.
+	Seed int64
+}
+
+// Tick phases executed by the worker pool.
+const (
+	phaseInitiate int32 = iota
+	phaseDeliver
+)
+
+// ShardedCounters is the sharded engine's transport ledger, following the
+// unified cross-substrate semantics documented on metrics.Traffic. Declared
+// here (rather than writing metrics.Traffic fields directly) because the
+// counterbalance analyzer reserves ledger-field writes for the declaring
+// package: each substrate owns its ledger and converts whole at read time.
+type ShardedCounters struct {
+	Sends          int
+	Losses         int
+	Deliveries     int
+	DeadLetters    int
+	LinkLosses     int
+	PartitionDrops int
+	Delayed        int
+}
+
+// msgRef locates one routed message: index idx in source shard src's
+// current outbox. The route pass buckets references instead of copying
+// message bodies, so delivery reads each id exactly once from the arena it
+// was written to.
+type msgRef struct {
+	src, idx int32
+}
+
+// shardedDelayed is one message parked in the delay queue. Unlike in-phase
+// messages its ids are copied out of the arena (the arenas reset each tick).
+type shardedDelayed struct {
+	due  int
+	seq  int
+	to   peer.ID
+	from peer.ID
+	kind protocol.Kind
+	dup  bool
+	ids  []peer.ID
+}
+
+// shardedDelayQueue is a min-heap on (due, seq).
+type shardedDelayQueue []shardedDelayed
+
+func (q shardedDelayQueue) Len() int { return len(q) }
+func (q shardedDelayQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q shardedDelayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *shardedDelayQueue) Push(x any)   { *q = append(*q, x.(shardedDelayed)) }
+func (q *shardedDelayQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// shardedNode packs one node's per-message state: the view header wrapping
+// its window of the shared slot array, its deterministic RNG, the
+// pre-asserted batch fast path (nil when the core lacks it), and liveness.
+// Everything the deliver phase reads for a destination is in this record.
+type shardedNode struct {
+	view  view.View
+	rng   rng.RNG
+	batch protocol.BatchStepCore
+	live  bool
+}
+
+// ShardedCluster is the sharded synchronous tick engine. Construct with
+// NewSharded; call Close when done to release the worker pool.
+type ShardedCluster struct {
+	cfg        ShardedConfig
+	n, s       int
+	shardSize  int
+	shardShift uint // log2(shardSize) when shardSize is a power of two
+	shardPow2  bool
+	shards     int
+	workers    int
+	cond       *faults.Conditions
+
+	// gate is the engine's exclusivity token (capacity 1, token present
+	// when idle): receive to acquire, send to release. See the package
+	// comment above for why this is a channel, not a mutex.
+	gate chan struct{}
+
+	// Pool plumbing. work carries the phase id to parked workers; done
+	// collects one token per wake; quit (closed by Close) shuts the pool
+	// down.
+	work      chan int32
+	done      chan struct{}
+	quit      chan struct{}
+	closeOnce sync.Once
+	nextShard atomic.Int32
+
+	// Flat node state, indexed by node id. The per-message hot fields live
+	// together in nodes so a random-destination receive touches one record
+	// (one or two cache lines) instead of four parallel arrays; the slot
+	// windows and the cold per-node state stay in their own arrays.
+	slots        []peer.ID     // n*s id array; node u's view is window u
+	nodes        []shardedNode // hot per-node state (view, rng, fast path, live)
+	cores        []protocol.StepCore
+	incarnations []int32
+
+	// Per-shard buffers and counters, indexed by shard.
+	outboxes []protocol.Outbox // initiate phase output (source-sharded)
+	counters []NodeCounters    // summed at snapshot time
+
+	// Routing state. The route pass does not copy surviving messages into
+	// per-destination buffers; it buckets (source shard, message index)
+	// references and the deliver phase reads ids straight out of the source
+	// arenas (deliverSrc). Reply generations alternate between the two
+	// replySets so a deliver phase never writes the arena it is reading.
+	inboxRefs  [][]msgRef
+	deliverSrc []protocol.Outbox
+	replyOut   []protocol.Outbox
+	replySets  [2][]protocol.Outbox
+
+	// Route-phase state: one deterministic stream for fault decisions,
+	// consumed in merged shard order.
+	netRNG  *rng.RNG
+	traffic ShardedCounters
+	tick    int
+	seq     int
+	pending shardedDelayQueue
+
+	// scratch is the sequential outbox used when delivering drained
+	// delayed messages and their reply chains outside the phased path.
+	scratch protocol.Outbox
+}
+
+// NewSharded builds a sharded tick cluster with the circulant bootstrap
+// topology (the same initial overlay NewCluster wires).
+func NewSharded(cfg ShardedConfig) (*ShardedCluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("runtime: sharded cluster needs at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.NewCore == nil {
+		return nil, fmt.Errorf("runtime: sharded cluster needs a core factory")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.InitDegree == 0 {
+		d, err := defaultInitDegree(cfg.NewCore, cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		cfg.InitDegree = d
+	}
+	if cfg.InitDegree >= cfg.N || cfg.InitDegree < 1 {
+		return nil, fmt.Errorf("runtime: init degree %d must be in [1, n-1] for n=%d", cfg.InitDegree, cfg.N)
+	}
+	cond := cfg.Conditions
+	if cond == nil {
+		lm, err := loss.NewUniform(cfg.Loss)
+		if err != nil {
+			return nil, err
+		}
+		if cond, err = faults.New(lm); err != nil {
+			return nil, err
+		}
+	}
+	probe, err := cfg.NewCore()
+	if err != nil {
+		return nil, fmt.Errorf("runtime: core factory: %w", err)
+	}
+	s := probe.ViewSize()
+	if s < 1 {
+		return nil, fmt.Errorf("runtime: core view size %d", s)
+	}
+
+	shardSize := cfg.ShardSize
+	if shardSize == 0 {
+		shardSize = defaultShardSize(cfg.N)
+	}
+	if shardSize < 1 {
+		return nil, fmt.Errorf("runtime: shard size %d", shardSize)
+	}
+	shards := (cfg.N + shardSize - 1) / shardSize
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = gort.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	e := &ShardedCluster{
+		cfg:       cfg,
+		n:         cfg.N,
+		s:         s,
+		shardSize: shardSize,
+		shards:    shards,
+		workers:   workers,
+		cond:      cond,
+		gate:      make(chan struct{}, 1),
+		work:      make(chan int32),
+		done:      make(chan struct{}),
+		quit:      make(chan struct{}),
+
+		slots:        make([]peer.ID, cfg.N*s),
+		nodes:        make([]shardedNode, cfg.N),
+		cores:        make([]protocol.StepCore, cfg.N),
+		incarnations: make([]int32, cfg.N),
+
+		outboxes:  make([]protocol.Outbox, shards),
+		inboxRefs: make([][]msgRef, shards),
+		counters:  make([]NodeCounters, shards),
+
+		netRNG: rng.New(cfg.Seed),
+	}
+	if shardSize&(shardSize-1) == 0 {
+		// Power-of-two shard size (the default geometry): the route pass
+		// maps destination ids to shards with a shift instead of a divide.
+		e.shardPow2 = true
+		e.shardShift = uint(bits.TrailingZeros(uint(shardSize)))
+	}
+	e.replySets[0] = make([]protocol.Outbox, shards)
+	e.replySets[1] = make([]protocol.Outbox, shards)
+
+	seeds := make([]peer.ID, cfg.InitDegree)
+	for u := 0; u < cfg.N; u++ {
+		for k := range seeds {
+			seeds[k] = peer.ID((u + k + 1) % cfg.N)
+		}
+		if err := e.activate(peer.ID(u), seeds); err != nil {
+			return nil, fmt.Errorf("runtime: node %d: %w", u, err)
+		}
+	}
+
+	for w := 1; w < e.workers; w++ {
+		go e.worker()
+	}
+	e.gate <- struct{}{} // the engine starts idle
+	return e, nil
+}
+
+// defaultShardSize picks the nodes-per-shard geometry from n alone: 256
+// preferred (enough shards for work stealing at n >= 10^4), grown so that at
+// most 1024 shards — and hence buffer sets — exist at n = 10^6. Results
+// depend on the geometry, so it must never consult GOMAXPROCS.
+func defaultShardSize(n int) int {
+	const preferred, maxShards = 256, 1024
+	size := preferred
+	if min := (n + maxShards - 1) / maxShards; size < min {
+		// Grow to the next power of two so the shard-of-destination map in
+		// the route pass stays a shift at every n.
+		size = 1 << uint(bits.Len(uint(min-1)))
+	}
+	return size
+}
+
+// seedFor derives node u's RNG seed for its incarnation-th activation,
+// mirroring Cluster.seedFor's collision-free splitmix derivation.
+func (e *ShardedCluster) seedFor(u peer.ID, incarnation int32) int64 {
+	return rng.DeriveSeed(e.cfg.Seed, int64(u), int64(incarnation))
+}
+
+// activate installs a fresh core, view, and RNG stream for node u. Callers
+// hold the gate (or, in NewSharded, are the only reference holder).
+func (e *ShardedCluster) activate(u peer.ID, seeds []peer.ID) error {
+	core, err := e.cfg.NewCore()
+	if err != nil {
+		return fmt.Errorf("runtime: core for node %v: %w", u, err)
+	}
+	if core.ViewSize() != e.s {
+		return fmt.Errorf("runtime: core for node %v has view size %d, cluster expects %d", u, core.ViewSize(), e.s)
+	}
+	sv, err := core.SeedView(seeds)
+	if err != nil {
+		return err
+	}
+	window := e.slots[int(u)*e.s : (int(u)+1)*e.s]
+	for i := 0; i < e.s; i++ {
+		window[i] = sv.Slot(i)
+	}
+	nd := &e.nodes[u]
+	nd.view = view.Wrap(window)
+	e.cores[u] = core
+	nd.batch, _ = core.(protocol.BatchStepCore)
+	nd.rng = rng.NewState(e.seedFor(u, e.incarnations[u]))
+	nd.live = true
+	return nil
+}
+
+// worker is one parked pool worker: each wake token carries a phase id; the
+// worker steals shards until the phase is exhausted, then reports done.
+func (e *ShardedCluster) worker() {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case p := <-e.work:
+			e.runShards(p)
+			e.done <- struct{}{}
+		}
+	}
+}
+
+// runShards processes shards of phase p until none remain, stealing shard
+// indices from the shared counter. Any worker may run any shard; each shard
+// runs exactly once per phase, in node order, on one worker — which is why
+// results cannot depend on the worker count.
+func (e *ShardedCluster) runShards(p int32) {
+	for {
+		k := int(e.nextShard.Add(1)) - 1
+		if k >= e.shards {
+			return
+		}
+		switch p {
+		case phaseInitiate:
+			e.initiateShard(k)
+		case phaseDeliver:
+			e.deliverShard(k)
+		}
+	}
+}
+
+// runPhase executes one phase across all shards: wake the pool, participate,
+// and join. Called with the gate held; the pool never touches the gate, so
+// these channel operations cannot deadlock against it.
+func (e *ShardedCluster) runPhase(p int32) {
+	e.nextShard.Store(0)
+	if e.workers <= 1 {
+		e.runShards(p)
+		return
+	}
+	for w := 1; w < e.workers; w++ {
+		e.work <- p
+	}
+	e.runShards(p)
+	for w := 1; w < e.workers; w++ {
+		<-e.done
+	}
+}
+
+// shardRange returns shard k's node id range [lo, hi).
+func (e *ShardedCluster) shardRange(k int) (lo, hi int) {
+	lo = k * e.shardSize
+	hi = lo + e.shardSize
+	if hi > e.n {
+		hi = e.n
+	}
+	return lo, hi
+}
+
+// initiateShard runs the initiate step of every live node in shard k,
+// appending outgoing messages to the shard outbox and accumulating the
+// shard's counters locally (one write to the shared array per shard per
+// phase — no per-node locks, no false sharing in the loop).
+func (e *ShardedCluster) initiateShard(k int) {
+	lo, hi := e.shardRange(k)
+	ob := &e.outboxes[k]
+	ob.Reset() // the previous round's messages were consumed by deliver
+	var cnt NodeCounters
+	for u := lo; u < hi; u++ {
+		nd := &e.nodes[u]
+		if !nd.live {
+			continue
+		}
+		cnt.Ticks++
+		if bc := nd.batch; bc != nil {
+			msgs, dups, ok := bc.InitiateBatch(&nd.view, peer.ID(u), &nd.rng, ob)
+			if !ok {
+				cnt.SelfLoops++
+				continue
+			}
+			cnt.Sends += msgs
+			cnt.Duplications += dups
+		} else {
+			msgs, ok := e.cores[u].Initiate(&nd.view, peer.ID(u), &nd.rng)
+			if !ok {
+				cnt.SelfLoops++
+				continue
+			}
+			for _, m := range msgs {
+				ob.Append(m.To, m.Msg.From, m.Msg.Kind, m.Msg.Dup, m.Msg.IDs...)
+				cnt.Sends++
+				if m.Msg.Dup {
+					cnt.Duplications++
+				}
+			}
+		}
+	}
+	e.counters[k].accumulate(cnt)
+}
+
+// deliverShard runs the receive step for every message bucketed to shard k,
+// in bucket order (which the sequential route pass made deterministic),
+// reading message bodies straight out of the source shard arenas. Replies go
+// to the shard's reply outbox and face the fault stack in the next route
+// pass.
+func (e *ShardedCluster) deliverShard(k int) {
+	refs := e.inboxRefs[k]
+	src := e.deliverSrc
+	rb := &e.replyOut[k]
+	var cnt NodeCounters
+	for _, ref := range refs {
+		ob := &src[ref.src]
+		m := &ob.Msgs[ref.idx]
+		u := m.To
+		nd := &e.nodes[u]
+		cnt.Receives++
+		ids := ob.MsgIDs(m)
+		if bc := nd.batch; bc != nil {
+			if bc.ReceiveBatch(&nd.view, u, protocol.Packet{Kind: m.Kind, From: m.From, IDs: ids, Dup: m.Dup}, &nd.rng, rb) {
+				cnt.Replies++
+			}
+		} else {
+			msg := protocol.Message{Kind: m.Kind, From: m.From, IDs: ids, Dup: m.Dup}
+			if reply, ok := e.cores[u].Receive(&nd.view, u, msg, &nd.rng); ok {
+				cnt.Replies++
+				rb.Append(reply.To, reply.Msg.From, reply.Msg.Kind, reply.Msg.Dup, reply.Msg.IDs...)
+			}
+		}
+	}
+	e.inboxRefs[k] = refs[:0]
+	e.counters[k].accumulate(cnt)
+}
+
+// accumulate adds other into c.
+func (c *NodeCounters) accumulate(other NodeCounters) {
+	c.Ticks += other.Ticks
+	c.SelfLoops += other.SelfLoops
+	c.Sends += other.Sends
+	c.Duplications += other.Duplications
+	c.Receives += other.Receives
+	c.Replies += other.Replies
+	c.SendErrors += other.SendErrors
+}
+
+// route is the sequential merge pass: it walks boxes in shard order and
+// rules on every message with the fault stack, drawing from the single
+// fault-decision stream in that fixed order (the same discipline that makes
+// the markov CSR kernel bit-reproducible: parallel phases produce per-chunk
+// buffers, one deterministic order consumes them). Survivors are bucketed
+// by reference into the destination shard's inbox (the boxes stay alive for
+// the deliver phase to read); delayed messages park in the heap with their
+// ids copied out of the transient arena. It returns whether any message was
+// bucketed for delivery.
+func (e *ShardedCluster) route(boxes []protocol.Outbox) bool {
+	delivered := false
+	e.deliverSrc = boxes
+	// One condition-stack session for the whole pass: the stack is locked
+	// once here instead of once per message (route is sequential, so the
+	// single-owner contract holds trivially).
+	ses := e.cond.Begin()
+	for k := range boxes {
+		ob := &boxes[k]
+		for i := range ob.Msgs {
+			m := &ob.Msgs[i]
+			e.traffic.Sends++
+			v := ses.Decide(m.From, m.To, e.netRNG)
+			if v.Drop != faults.DropNone {
+				e.traffic.Losses++
+				switch v.Drop {
+				case faults.DropLink:
+					e.traffic.LinkLosses++
+				case faults.DropPartition:
+					e.traffic.PartitionDrops++
+				}
+				continue
+			}
+			if v.Delay > 0 {
+				e.traffic.Delayed++
+				e.seq++
+				ids := make([]peer.ID, m.IDLen)
+				copy(ids, ob.MsgIDs(m))
+				heap.Push(&e.pending, shardedDelayed{
+					due: e.tick + v.Delay, seq: e.seq,
+					to: m.To, from: m.From, kind: m.Kind, dup: m.Dup, ids: ids,
+				})
+				continue
+			}
+			if !e.nodes[m.To].live {
+				e.traffic.DeadLetters++
+				continue
+			}
+			e.traffic.Deliveries++
+			dest := int(m.To) / e.shardSize
+			if e.shardPow2 {
+				dest = int(m.To) >> e.shardShift
+			}
+			e.inboxRefs[dest] = append(e.inboxRefs[dest], msgRef{src: int32(k), idx: int32(i)})
+			delivered = true
+		}
+	}
+	ses.Close()
+	return delivered
+}
+
+// drainDue delivers every delayed message due by the current tick, in
+// (due, enqueue) order — sequentially, off the phased path (drains are rare
+// and small; determinism matters more than parallelism here). Routing is
+// resolved at drain time, so a message to a node that departed while in
+// flight is a dead letter, exactly as on the other substrates.
+func (e *ShardedCluster) drainDue() {
+	for len(e.pending) > 0 && e.pending[0].due <= e.tick {
+		d := heap.Pop(&e.pending).(shardedDelayed)
+		e.deliverNow(d.to, protocol.Packet{Kind: d.kind, From: d.from, IDs: d.ids, Dup: d.dup})
+	}
+}
+
+// deliverNow delivers one message immediately, following its reply chain
+// through the fault stack (replies may be dropped, delayed, or delivered in
+// turn). Used for drained delayed messages only; phased delivery handles
+// the per-tick bulk.
+func (e *ShardedCluster) deliverNow(to peer.ID, pkt protocol.Packet) {
+	for {
+		nd := &e.nodes[to]
+		if !nd.live {
+			e.traffic.DeadLetters++
+			return
+		}
+		e.traffic.Deliveries++
+		k := int(to) / e.shardSize
+		e.scratch.Reset()
+		cnt := &e.counters[k]
+		cnt.Receives++
+		if bc := nd.batch; bc != nil {
+			if bc.ReceiveBatch(&nd.view, to, pkt, &nd.rng, &e.scratch) {
+				cnt.Replies++
+			}
+		} else {
+			if reply, ok := e.cores[to].Receive(&nd.view, to, pkt.Message(), &nd.rng); ok {
+				cnt.Replies++
+				e.scratch.Append(reply.To, reply.Msg.From, reply.Msg.Kind, reply.Msg.Dup, reply.Msg.IDs...)
+			}
+		}
+		if len(e.scratch.Msgs) == 0 {
+			return
+		}
+		// Current protocols reply with at most one message; route it and
+		// continue the chain.
+		m := &e.scratch.Msgs[0]
+		e.traffic.Sends++
+		v := e.cond.Decide(m.From, m.To, e.netRNG)
+		if v.Drop != faults.DropNone {
+			e.traffic.Losses++
+			switch v.Drop {
+			case faults.DropLink:
+				e.traffic.LinkLosses++
+			case faults.DropPartition:
+				e.traffic.PartitionDrops++
+			}
+			return
+		}
+		if v.Delay > 0 {
+			e.traffic.Delayed++
+			e.seq++
+			ids := make([]peer.ID, m.IDLen)
+			copy(ids, e.scratch.MsgIDs(m))
+			heap.Push(&e.pending, shardedDelayed{
+				due: e.tick + v.Delay, seq: e.seq,
+				to: m.To, from: m.From, kind: m.Kind, dup: m.Dup, ids: ids,
+			})
+			return
+		}
+		to = m.To
+		pkt = protocol.Packet{Kind: m.Kind, From: m.From, IDs: e.scratch.MsgIDs(m), Dup: m.Dup}
+	}
+}
+
+// TickRound drives one synchronous round: the delay queue delivers what came
+// due, every live node initiates once (initiate phase), the fault stack
+// rules on the round's messages in shard order (route), and survivors'
+// receive steps run (deliver phase), with reply generations looping through
+// route until the round is quiet.
+func (e *ShardedCluster) TickRound() {
+	<-e.gate
+	e.tick++
+	e.drainDue()
+	e.runPhase(phaseInitiate)
+	cur := e.outboxes
+	w := 0
+	for e.route(cur) {
+		// Replies of this deliver generation go to the reply set the route
+		// pass is NOT reading from: route bucketed references into cur, so
+		// the deliver phase reads ids straight out of cur's arenas while
+		// appending replies to rs. The two sets alternate across
+		// generations. Reply chains terminate for every current protocol
+		// (replies never generate further replies), so this loop runs at
+		// most twice.
+		rs := e.replySets[w]
+		for k := range rs {
+			rs[k].Reset()
+		}
+		e.replyOut = rs
+		e.runPhase(phaseDeliver)
+		cur = rs
+		w ^= 1
+	}
+	e.gate <- struct{}{}
+}
+
+// DrainDelayed advances the tick clock without initiating any actions until
+// the delay queue is empty, delivering everything in flight — the sharded
+// counterpart of Engine.DrainDelayed, run at the end of a comparison so the
+// traffic identity (metrics.Traffic.Conserved) holds exactly.
+func (e *ShardedCluster) DrainDelayed() {
+	<-e.gate
+	for len(e.pending) > 0 {
+		e.tick++
+		e.drainDue()
+	}
+	e.gate <- struct{}{}
+}
+
+// Pending returns the number of messages parked in the delay queue.
+func (e *ShardedCluster) Pending() int {
+	<-e.gate
+	n := len(e.pending)
+	e.gate <- struct{}{}
+	return n
+}
+
+// Views snapshots all node views (nil entries for departed nodes) in one
+// bulk pass: the engine is held once for the whole copy instead of locking
+// every node individually, which is what keeps snapshot cost sane at 10^5+
+// nodes.
+func (e *ShardedCluster) Views() []*view.View {
+	<-e.gate
+	out := make([]*view.View, e.n)
+	for u := range out {
+		if e.nodes[u].live {
+			out[u] = e.nodes[u].view.Clone()
+		}
+	}
+	e.gate <- struct{}{}
+	return out
+}
+
+// Snapshot returns the current membership graph.
+func (e *ShardedCluster) Snapshot() *graph.Graph {
+	return graph.FromViews(e.Views())
+}
+
+// Counters sums the per-shard counters — O(shards), not O(n) per-node lock
+// acquisitions.
+func (e *ShardedCluster) Counters() NodeCounters {
+	<-e.gate
+	var sum NodeCounters
+	for k := range e.counters {
+		sum.accumulate(e.counters[k])
+	}
+	e.gate <- struct{}{}
+	return sum
+}
+
+// Traffic reports the transport counters in the substrate-neutral shape
+// shared with Engine and Cluster (see metrics.Traffic for the unified
+// counting semantics).
+func (e *ShardedCluster) Traffic() metrics.Traffic {
+	<-e.gate
+	t := e.traffic
+	e.gate <- struct{}{}
+	return metrics.Traffic{
+		Sends:          t.Sends,
+		Losses:         t.Losses,
+		Deliveries:     t.Deliveries,
+		DeadLetters:    t.DeadLetters,
+		LinkLosses:     t.LinkLosses,
+		PartitionDrops: t.PartitionDrops,
+		Delayed:        t.Delayed,
+	}
+}
+
+// Conditions returns the fault-injection stack for mid-run reconfiguration
+// (partitions, link overrides).
+func (e *ShardedCluster) Conditions() *faults.Conditions { return e.cond }
+
+// CheckInvariants validates the protocol's per-view invariant on every live
+// node, in one bulk pass.
+func (e *ShardedCluster) CheckInvariants() error {
+	<-e.gate
+	defer func() { e.gate <- struct{}{} }()
+	for u := 0; u < e.n; u++ {
+		if !e.nodes[u].live {
+			continue
+		}
+		if err := e.cores[u].CheckView(&e.nodes[u].view); err != nil {
+			return fmt.Errorf("runtime: node %v: %w", peer.ID(u), err)
+		}
+	}
+	return nil
+}
+
+// RemoveNode makes node u leave the cluster, the paper's leave semantics:
+// no protocol action, its id decays from other views, and in-flight
+// messages to it become dead letters. Idempotent, safe during concurrent
+// ticking.
+func (e *ShardedCluster) RemoveNode(u peer.ID) {
+	if int(u) < 0 || int(u) >= e.n {
+		return
+	}
+	<-e.gate
+	e.nodes[u].live = false
+	e.gate <- struct{}{}
+}
+
+// AddNode (re)activates node u with the given seed ids (at least max(2, dL)
+// per the paper's join rule). Each activation draws a fresh RNG stream
+// derived from (cluster seed, id, incarnation), exactly like
+// Cluster.AddNode. The start flag exists for Cluster API compatibility and
+// is ignored: the sharded engine is tick-driven, so a (re)joined node simply
+// participates in subsequent TickRounds.
+func (e *ShardedCluster) AddNode(u peer.ID, seeds []peer.ID, start bool) error {
+	_ = start
+	if int(u) < 0 || int(u) >= e.n {
+		return fmt.Errorf("runtime: node id %v outside cluster universe", u)
+	}
+	<-e.gate
+	defer func() { e.gate <- struct{}{} }()
+	if e.nodes[u].live {
+		return fmt.Errorf("runtime: node %v is already active", u)
+	}
+	e.incarnations[u]++
+	return e.activate(u, seeds)
+}
+
+// Close shuts the worker pool down. The engine must not be used after
+// Close; Close is idempotent and safe to call while the engine is idle.
+func (e *ShardedCluster) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+}

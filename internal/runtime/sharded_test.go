@@ -1,0 +1,357 @@
+package runtime_test
+
+import (
+	"fmt"
+	gort "runtime"
+	"sync"
+	"testing"
+
+	"sendforget/internal/faults"
+	"sendforget/internal/peer"
+	"sendforget/internal/runtime"
+)
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := runtime.NewSharded(runtime.ShardedConfig{N: 1, NewCore: sfFactory(8, 2)}); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := runtime.NewSharded(runtime.ShardedConfig{N: 10}); err == nil {
+		t.Error("accepted nil core factory")
+	}
+	if _, err := runtime.NewSharded(runtime.ShardedConfig{N: 10, NewCore: sfFactory(8, 2), InitDegree: 10}); err == nil {
+		t.Error("accepted init degree >= n")
+	}
+}
+
+func TestShardedTickRounds(t *testing.T) {
+	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 60, NewCore: sfFactory(12, 4), Loss: 0.05, Seed: 7, ShardSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for round := 0; round < 80; round++ {
+		e.TickRound()
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	cnt := e.Counters()
+	if cnt.Ticks != 60*80 {
+		t.Errorf("ticks = %d, want %d", cnt.Ticks, 60*80)
+	}
+	if cnt.Sends == 0 || cnt.Receives == 0 {
+		t.Errorf("no gossip flowed: %+v", cnt)
+	}
+	tr := e.Traffic()
+	if !tr.Conserved() {
+		t.Errorf("traffic identity violated: %+v", tr)
+	}
+	if tr.Losses == 0 {
+		t.Error("5% loss produced no losses")
+	}
+	if cnt.Sends != tr.Sends {
+		t.Errorf("node sends %d != transport sends %d", cnt.Sends, tr.Sends)
+	}
+	if cnt.Receives != tr.Deliveries {
+		t.Errorf("node receives %d != transport deliveries %d", cnt.Receives, tr.Deliveries)
+	}
+	g := e.Snapshot()
+	if comps := g.ComponentCount(); comps > 1 {
+		t.Errorf("overlay split into %d components under mild loss", comps)
+	}
+}
+
+// shardedFingerprint condenses an engine's full observable state — every
+// view byte, the summed counters, and the traffic ledger — into one string
+// for exact cross-run comparison.
+func shardedFingerprint(e *runtime.ShardedCluster) string {
+	views := e.Views()
+	buf := make([]byte, 0, 1<<16)
+	for u, v := range views {
+		if v == nil {
+			buf = append(buf, fmt.Sprintf("%d:-\n", u)...)
+			continue
+		}
+		buf = append(buf, fmt.Sprintf("%d:", u)...)
+		for i := 0; i < v.Size(); i++ {
+			buf = append(buf, fmt.Sprintf("%d,", v.Slot(i))...)
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf) + fmt.Sprintf("%+v\n%+v", e.Counters(), e.Traffic())
+}
+
+// TestShardedDeterministicAcrossWorkers is the engine's core guarantee: the
+// worker count changes wall-clock time only, never results. Every view
+// byte, counter, and traffic number must match across worker counts — with
+// and without a delay queue in play.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	gmp := gort.GOMAXPROCS(0)
+	cases := []struct {
+		name  string
+		delay faults.Delay
+	}{
+		{name: "immediate"},
+		{name: "delayed", delay: faults.Delay{Fixed: 1, Jitter: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, workers := range []int{1, 4, gmp} {
+				cond := faults.Lossless()
+				if tc.delay.Fixed > 0 || tc.delay.Jitter > 0 {
+					if err := cond.SetDelay(tc.delay); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					cond = nil
+				}
+				e, err := runtime.NewSharded(runtime.ShardedConfig{
+					N: 200, NewCore: sfFactory(12, 4), Loss: 0.05,
+					Conditions: cond, Seed: 17, ShardSize: 16, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for round := 0; round < 60; round++ {
+					e.TickRound()
+				}
+				e.DrainDelayed()
+				got := shardedFingerprint(e)
+				e.Close()
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Errorf("workers=%d produced different results than workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDelayedDelivery mirrors TestClusterDelayedDelivery on the
+// sharded engine: with a fixed 2-round delay every first-round send parks in
+// the delay queue, and the traffic identity holds once DrainDelayed empties
+// it.
+func TestShardedDelayedDelivery(t *testing.T) {
+	cond := faults.Lossless()
+	if err := cond.SetDelay(faults.Delay{Fixed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 10, NewCore: sfFactory(8, 2), Conditions: cond, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.TickRound()
+	tr := e.Traffic()
+	if tr.Deliveries != 0 || tr.Delayed != tr.Sends || tr.Sends == 0 {
+		t.Fatalf("after one round, traffic = %+v: want all sends delayed, none delivered", tr)
+	}
+	if e.Pending() != tr.Sends {
+		t.Fatalf("pending %d != delayed sends %d", e.Pending(), tr.Sends)
+	}
+	for round := 0; round < 60; round++ {
+		e.TickRound()
+	}
+	e.DrainDelayed()
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after DrainDelayed", e.Pending())
+	}
+	tr = e.Traffic()
+	if !tr.Conserved() {
+		t.Errorf("traffic identity violated after drain: %+v", tr)
+	}
+	if tr.Deliveries == 0 {
+		t.Error("no delayed deliveries happened")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedRemoveAddNode(t *testing.T) {
+	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 30, NewCore: sfFactory(12, 4), Seed: 5, ShardSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for round := 0; round < 20; round++ {
+		e.TickRound()
+	}
+	e.RemoveNode(7)
+	e.RemoveNode(7) // idempotent
+	if v := e.Views()[7]; v != nil {
+		t.Error("removed node still has a view")
+	}
+	// Gossip while 7 is down: messages addressed to it dead-letter.
+	for round := 0; round < 20; round++ {
+		e.TickRound()
+	}
+	if err := e.AddNode(7, []peer.ID{0, 1, 2, 3}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddNode(7, []peer.ID{0, 1, 2, 3}, false); err == nil {
+		t.Error("double-add accepted")
+	}
+	if err := e.AddNode(99, []peer.ID{0, 1}, false); err == nil {
+		t.Error("out-of-universe add accepted")
+	}
+	for round := 0; round < 40; round++ {
+		e.TickRound()
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Traffic()
+	if !tr.Conserved() {
+		t.Errorf("traffic identity violated: %+v", tr)
+	}
+	if tr.DeadLetters == 0 {
+		t.Error("no dead letters while node 7 was down — in-flight gossip to it should have dead-lettered")
+	}
+}
+
+// TestShardedRejoinSeedStreams mirrors TestClusterRejoinSeedStreams:
+// distinct incarnations of the same node must draw distinct RNG streams
+// (seedFor derives from (seed, id, incarnation)).
+func TestShardedRejoinSeedStreams(t *testing.T) {
+	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 10, NewCore: sfFactory(8, 2), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	seeds := []peer.ID{0, 1, 2, 3}
+	var trajectories [2]string
+	for inc := 0; inc < 2; inc++ {
+		e.RemoveNode(7)
+		if err := e.AddNode(7, seeds, false); err != nil {
+			t.Fatal(err)
+		}
+		var tr string
+		for i := 0; i < 12; i++ {
+			e.TickRound()
+			tr += fmt.Sprint(e.Views()[7].IDs())
+		}
+		trajectories[inc] = tr
+	}
+	if trajectories[0] == trajectories[1] {
+		t.Errorf("two incarnations of node 7 produced identical view trajectories — seed streams collide")
+	}
+}
+
+// TestShardedChurnWhileTicking exercises the gate under concurrency: ticks,
+// churn, and snapshots race from several goroutines (the race detector
+// checks the serialization; the invariants check the protocol state).
+func TestShardedChurnWhileTicking(t *testing.T) {
+	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 40, NewCore: sfFactory(12, 4), Loss: 0.02, Seed: 9, ShardSize: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			e.TickRound()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		seeds := []peer.ID{0, 1, 2, 3}
+		for i := 0; i < 20; i++ {
+			u := peer.ID(10 + i%5)
+			e.RemoveNode(u)
+			if err := e.AddNode(u, seeds, false); err != nil {
+				t.Errorf("rejoin %v: %v", u, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			_ = e.Views()
+			_ = e.Counters()
+			_ = e.Traffic()
+			_ = e.Pending()
+		}
+	}()
+	wg.Wait()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Traffic().Conserved() {
+		// Churn dead-letters in-flight messages but never loses track of
+		// them.
+		t.Errorf("traffic identity violated: %+v", e.Traffic())
+	}
+}
+
+// TestShardedZeroAllocTick is the memory-budget gate: after warm-up, a
+// steady-state tick round performs zero heap allocations (flat state, reused
+// outboxes, batch step cores). CI runs this test; a regression that starts
+// allocating per message fails it immediately.
+func TestShardedZeroAllocTick(t *testing.T) {
+	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 2000, NewCore: sfFactory(16, 6), Loss: 0.02, Seed: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Warm up until the outbox arenas reach their steady-state capacity.
+	for round := 0; round < 50; round++ {
+		e.TickRound()
+	}
+	avg := testing.AllocsPerRun(20, e.TickRound)
+	if avg != 0 {
+		t.Errorf("steady-state TickRound allocates %.1f times per round, want 0", avg)
+	}
+}
+
+// TestShardedViewsAreCopies guards the bulk snapshot: mutating a returned
+// view must not touch engine state.
+func TestShardedViewsAreCopies(t *testing.T) {
+	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 10, NewCore: sfFactory(8, 2), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	v := e.Views()[3]
+	var before []peer.ID
+	for i := 0; i < v.Size(); i++ {
+		before = append(before, v.Slot(i))
+	}
+	v.Set(0, peer.ID(9))
+	v.Clear(1)
+	again := e.Views()[3]
+	for i, id := range before {
+		if again.Slot(i) != id {
+			t.Fatalf("slot %d changed from %v to %v after mutating a snapshot", i, id, again.Slot(i))
+		}
+	}
+}
+
+// TestShardedMatchesDefaultGeometry pins the shard geometry contract: the
+// default geometry depends only on n, so results are identical whether the
+// caller overrides ShardSize with the same value or leaves it 0.
+func TestShardedMatchesDefaultGeometry(t *testing.T) {
+	run := func(shardSize, workers int) string {
+		e, err := runtime.NewSharded(runtime.ShardedConfig{
+			N: 300, NewCore: sfFactory(8, 2), Loss: 0.1, Seed: 23,
+			ShardSize: shardSize, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for round := 0; round < 30; round++ {
+			e.TickRound()
+		}
+		return shardedFingerprint(e)
+	}
+	// n=300 < default shard size 256*2: explicit 256 must equal default.
+	if run(256, 1) != run(0, 2) {
+		t.Error("explicit ShardSize=256 differs from default geometry")
+	}
+}

@@ -75,10 +75,14 @@ func (q *delayQueue) Pop() any {
 // delay), then the receiver's handler runs synchronously — or, for delayed
 // messages, when Advance drains the delay queue. Safe for concurrent use.
 type Network struct {
-	mu       sync.Mutex
-	cond     *faults.Conditions
-	r        *rng.RNG
-	handlers map[peer.ID]Handler
+	mu   sync.Mutex
+	cond *faults.Conditions
+	r    *rng.RNG
+	// handlers is a dense slice indexed by node id: simulator ids are small
+	// dense integers (see package peer), so routing is an index instead of
+	// a map probe on every Send. The slice grows on Register; unregistered
+	// or out-of-range ids are unroutable (nil entry).
+	handlers []Handler
 	counters Counters
 	tick     int
 	seq      int
@@ -107,7 +111,7 @@ func NewNetworkWithConditions(cond *faults.Conditions, r *rng.RNG) (*Network, er
 	if cond == nil || r == nil {
 		return nil, fmt.Errorf("transport: nil dependency")
 	}
-	return &Network{cond: cond, r: r, handlers: make(map[peer.ID]Handler)}, nil
+	return &Network{cond: cond, r: r}, nil
 }
 
 // Conditions returns the network's fault-injection stack, for dynamic
@@ -116,15 +120,27 @@ func (nw *Network) Conditions() *faults.Conditions { return nw.cond }
 
 // Register attaches a node's receive handler. Re-registering replaces the
 // previous handler; a nil handler detaches the node (messages to it are
-// then dropped as unroutable, modeling a failed node).
+// then dropped as unroutable, modeling a failed node). Negative ids are
+// rejected silently: they can never be routed to (peer.Nil is the empty
+// view entry, not an address).
 func (nw *Network) Register(id peer.ID, h Handler) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	if h == nil {
-		delete(nw.handlers, id)
+	if id < 0 {
 		return
 	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for int(id) >= len(nw.handlers) {
+		nw.handlers = append(nw.handlers, nil)
+	}
 	nw.handlers[id] = h
+}
+
+// handlerFor looks up the handler for id. Callers hold nw.mu.
+func (nw *Network) handlerFor(id peer.ID) Handler {
+	if id < 0 || int(id) >= len(nw.handlers) {
+		return nil
+	}
+	return nw.handlers[id]
 }
 
 // Send transmits msg to the node registered as to. The fault decision and
@@ -155,8 +171,8 @@ func (nw *Network) Send(to peer.ID, msg protocol.Message) error {
 		nw.mu.Unlock()
 		return nil
 	}
-	h, ok := nw.handlers[to]
-	if !ok {
+	h := nw.handlerFor(to)
+	if h == nil {
 		nw.counters.NoRoute++
 		nw.mu.Unlock()
 		return nil
@@ -185,8 +201,8 @@ func (nw *Network) Advance() {
 	}
 	deliveries := make([]delivery, 0, len(due))
 	for _, d := range due {
-		h, ok := nw.handlers[d.to]
-		if !ok {
+		h := nw.handlerFor(d.to)
+		if h == nil {
 			nw.counters.NoRoute++
 			continue
 		}

@@ -12,6 +12,7 @@ package view
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"sendforget/internal/peer"
@@ -23,6 +24,13 @@ import (
 type View struct {
 	slots []peer.ID
 	out   int // cached count of non-Nil slots (the outdegree d(u))
+	// occ is a bitmask of the occupied slots among the first 64 (bit i set
+	// iff slots[i] != peer.Nil). For the view sizes the paper works with
+	// (s <= 64) it covers the whole view, and the batched receive path
+	// selects random empty slots with a few bit operations instead of a
+	// slot scan. For larger views it is maintained for the covered prefix
+	// but never consulted.
+	occ uint64
 }
 
 // New returns an empty view with s slots. It panics if s <= 0.
@@ -35,6 +43,29 @@ func New(s int) *View {
 		v.slots[i] = peer.Nil
 	}
 	return v
+}
+
+// Wrap returns a View backed by the given slot slice without copying it: the
+// view and the caller share the array. The sharded cluster stores all node
+// views in one flat id array and wraps per-node windows of it, so view state
+// stays contiguous in memory and snapshot code can copy it in bulk. The
+// outdegree cache is computed once here; all mutation must go through the
+// View afterwards. It panics if slots is empty.
+func Wrap(slots []peer.ID) View {
+	if len(slots) == 0 {
+		panic("view: Wrap called with no slots")
+	}
+	out := 0
+	var occ uint64
+	for i, id := range slots {
+		if id != peer.Nil {
+			out++
+			if i < 64 {
+				occ |= 1 << uint(i)
+			}
+		}
+	}
+	return View{slots: slots, out: out, occ: occ}
 }
 
 // Size returns the number of slots s (Property M1's view size).
@@ -58,6 +89,11 @@ func (v *View) Set(i int, id peer.ID) {
 	v.slots[i] = id
 	if id != peer.Nil {
 		v.out++
+		if i < 64 {
+			v.occ |= 1 << uint(i)
+		}
+	} else if i < 64 {
+		v.occ &^= 1 << uint(i)
 	}
 }
 
@@ -85,6 +121,111 @@ func (v *View) RandomEmptySlots(r *rng.RNG, k int) ([]int, bool) {
 		out[idx] = empty[p]
 	}
 	return out, true
+}
+
+// RandomPairFast is RandomPair through rng.FastPair: one 64-bit draw
+// instead of two, with the (documented, negligible) lane bias and a
+// different draw mapping. Batch step cores use it; the classic cores keep
+// RandomPair so their seeded streams are unchanged.
+func (v *View) RandomPairFast(r *rng.RNG) (i, j int) {
+	return r.FastPair(len(v.slots))
+}
+
+// RandomEmptyPair returns an ordered pair of distinct uniformly chosen empty
+// slot indices without allocating — the hot-path form of
+// RandomEmptySlots(r, 2) used by the sharded cluster's batched receive path.
+// The pair distribution matches RandomEmptySlots' (uniform over ordered
+// distinct empty slots up to rng.FastPair's negligible lane bias), but the
+// RNG draw mapping differs, so the two forms are not stream-compatible under
+// a shared seed. It returns ok = false when fewer than two slots are empty.
+func (v *View) RandomEmptyPair(r *rng.RNG) (a, b int, ok bool) {
+	s := len(v.slots)
+	e := s - v.out
+	if e < 2 {
+		return 0, 0, false
+	}
+	// Draw ordinal positions among the empty slots (ordered distinct pair),
+	// then locate both.
+	x, y := r.FastPair(e)
+	if s <= 64 {
+		// The occupancy mask covers the whole view: select the x-th and
+		// y-th zero bits instead of scanning slots.
+		mask := ^uint64(0)
+		if s < 64 {
+			mask = 1<<uint(s) - 1
+		}
+		zeros := ^v.occ & mask
+		return nthSetBit(zeros, x), nthSetBit(zeros, y), true
+	}
+	a, b = -1, -1
+	k := 0
+	for i, id := range v.slots {
+		if id != peer.Nil {
+			continue
+		}
+		if k == x {
+			a = i
+		}
+		if k == y {
+			b = i
+		}
+		k++
+		if a >= 0 && b >= 0 {
+			break
+		}
+	}
+	return a, b, true
+}
+
+// FillEmptyPair stores two non-Nil ids at the distinct empty slots a and b —
+// the receive step's two Set calls fused so the occupancy bookkeeping runs
+// once without re-reading the slots. Callers guarantee a != b and that both
+// slots are empty (RandomEmptyPair's contract); Nil ids fall back to Set,
+// which handles them like Clear.
+func (v *View) FillEmptyPair(a, b int, ida, idb peer.ID) {
+	if ida == peer.Nil || idb == peer.Nil {
+		v.Set(a, ida)
+		v.Set(b, idb)
+		return
+	}
+	v.slots[a] = ida
+	v.slots[b] = idb
+	v.out += 2
+	var m uint64
+	if a < 64 {
+		m |= 1 << uint(a)
+	}
+	if b < 64 {
+		m |= 1 << uint(b)
+	}
+	v.occ |= m
+}
+
+// ClearOccupiedPair empties the distinct slots i and j — the initiate step's
+// two Clear calls fused. Callers guarantee i != j and that both slots are
+// occupied (the initiate step just read both ids and found them non-Nil).
+func (v *View) ClearOccupiedPair(i, j int) {
+	v.slots[i] = peer.Nil
+	v.slots[j] = peer.Nil
+	v.out -= 2
+	var m uint64
+	if i < 64 {
+		m |= 1 << uint(i)
+	}
+	if j < 64 {
+		m |= 1 << uint(j)
+	}
+	v.occ &^= m
+}
+
+// nthSetBit returns the index of the (k+1)-th set bit of m (k counted from
+// 0, bits from the least significant). The caller guarantees m has more than
+// k bits set.
+func nthSetBit(m uint64, k int) int {
+	for ; k > 0; k-- {
+		m &= m - 1
+	}
+	return bits.TrailingZeros64(m)
 }
 
 // EmptySlots returns the indices of all empty slots in ascending order.
@@ -153,7 +294,7 @@ func (v *View) SlotsOf(id peer.ID) []int {
 
 // Clone returns a deep copy of the view.
 func (v *View) Clone() *View {
-	c := &View{slots: make([]peer.ID, len(v.slots)), out: v.out}
+	c := &View{slots: make([]peer.ID, len(v.slots)), out: v.out, occ: v.occ}
 	copy(c.slots, v.slots)
 	return c
 }
@@ -181,18 +322,26 @@ func (v *View) String() string {
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
-// CheckInvariants verifies internal consistency (cached outdegree matches
-// the slot contents). It returns an error rather than panicking so tests can
-// assert on it; protocol code calls it only under test builds.
+// CheckInvariants verifies internal consistency (cached outdegree and
+// occupancy mask match the slot contents). It returns an error rather than
+// panicking so tests can assert on it; protocol code calls it only under
+// test builds.
 func (v *View) CheckInvariants() error {
 	n := 0
-	for _, id := range v.slots {
+	var occ uint64
+	for i, id := range v.slots {
 		if id != peer.Nil {
 			n++
+			if i < 64 {
+				occ |= 1 << uint(i)
+			}
 		}
 	}
 	if n != v.out {
 		return fmt.Errorf("view: cached outdegree %d != actual %d", v.out, n)
+	}
+	if occ != v.occ {
+		return fmt.Errorf("view: cached occupancy %064b != actual %064b", v.occ, occ)
 	}
 	return nil
 }

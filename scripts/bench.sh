@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Runs the BenchmarkClusterTick family (per-node vs sharded substrates) and
+# records the results in BENCH_cluster.json with a stable schema, so cluster
+# performance can be tracked across commits.
+#
+# Usage:
+#   scripts/bench.sh             # pernode + sharded at 10k/100k (1M skipped)
+#   FULL=1 scripts/bench.sh      # include the 1M-node round
+#   BENCHTIME=2s scripts/bench.sh
+#   OUT=/tmp/b.json scripts/bench.sh
+#
+# Schema (schema=1): one entry per sub-benchmark with iterations, ns/op,
+# ns/node-tick (the size-independent figure of merit), B/op, allocs/op, plus
+# the sharded-vs-pernode speedup at n=10k, the acceptance ratio.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_cluster.json}"
+SHORT="-short"
+if [ "${FULL:-0}" = "1" ]; then
+	SHORT=""
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench BenchmarkClusterTick -benchtime "$BENCHTIME" -benchmem $SHORT . | tee "$TMP"
+
+awk \
+	-v go_version="$(go version | awk '{print $3}')" \
+	-v benchtime="$BENCHTIME" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^BenchmarkClusterTick\// {
+	name = $1
+	sub(/^BenchmarkClusterTick\//, "", name)
+	sub(/-[0-9]+$/, "", name)
+	iters = $2; nsop = $3
+	ntick = "null"; bop = "null"; aop = "null"
+	for (i = 4; i <= NF; i++) {
+		if ($(i) == "ns/node-tick") ntick = $(i - 1)
+		if ($(i) == "B/op") bop = $(i - 1)
+		if ($(i) == "allocs/op") aop = $(i - 1)
+	}
+	n++
+	line[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"ns_per_node_tick\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, iters, nsop, ntick, bop, aop)
+	tick[name] = ntick
+}
+END {
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkClusterTick\",\n"
+	printf "  \"schema\": 1,\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	if (("pernode/n=10k" in tick) && ("sharded/n=10k" in tick) && tick["sharded/n=10k"] + 0 > 0)
+		printf "  \"speedup_sharded_vs_pernode_n10k\": %.2f,\n", \
+			tick["pernode/n=10k"] / tick["sharded/n=10k"]
+	printf "  \"results\": [\n"
+	for (i = 1; i <= n; i++)
+		printf "%s%s\n", line[i], (i < n ? "," : "")
+	printf "  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
