@@ -19,7 +19,11 @@ import (
 	"sendforget/internal/markov"
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/flipper"
+	"sendforget/internal/protocol/pushpull"
 	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/protocol/sfopt"
+	"sendforget/internal/protocol/shuffle"
 	"sendforget/internal/rng"
 	"sendforget/internal/runtime"
 	"sendforget/internal/transport"
@@ -213,16 +217,39 @@ func sfCoreFactory(s, dl int) protocol.CoreFactory {
 	return func() (protocol.StepCore, error) { return sendforget.NewCore(s, dl) }
 }
 
+// benchProtocols lists the five batch-core protocols the sharded engine runs
+// allocation-free, at view size 16 (matching the sendforget baseline rows).
+func benchProtocols() []struct {
+	name    string
+	factory protocol.CoreFactory
+} {
+	return []struct {
+		name    string
+		factory protocol.CoreFactory
+	}{
+		{"sf", sfCoreFactory(16, 6)},
+		{"sfopt", func() (protocol.StepCore, error) {
+			return sfopt.NewCore(sfopt.Options{S: 16, DL: 6, ReplaceWhenFull: true, Undelete: true})
+		}},
+		{"shuffle", func() (protocol.StepCore, error) { return shuffle.NewCore(16) }},
+		{"flipper", func() (protocol.StepCore, error) { return flipper.NewCore(16) }},
+		{"pushpull", func() (protocol.StepCore, error) { return pushpull.NewCore(16) }},
+	}
+}
+
 // BenchmarkRuntimeTick measures one concurrent-node gossip action over the
-// in-memory lossy network (lock acquisition + step + transport).
+// in-memory lossy network (lock acquisition + step + transport). The
+// per-node Tick is specific to the goroutine-per-node backend, so this is
+// the one benchmark that needs the concrete type back from the factory.
 func BenchmarkRuntimeTick(b *testing.B) {
-	cluster, err := runtime.NewCluster(runtime.ClusterConfig{
-		N: 64, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 9,
+	sub, err := runtime.New(runtime.Config{
+		Engine: runtime.EngineCluster, N: 64, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 9,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	nodes := cluster.Nodes()
+	defer sub.Close()
+	nodes := sub.(*runtime.Cluster).Nodes()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nodes[i%len(nodes)].Tick()
@@ -230,63 +257,69 @@ func BenchmarkRuntimeTick(b *testing.B) {
 }
 
 // BenchmarkClusterTick measures one full synchronous round (n initiate
-// steps plus all triggered receive steps and loss decisions) on both
-// cluster substrates, reporting ns/node-tick so runs at different n compare
-// directly:
+// steps plus all triggered receive steps and loss decisions), reporting
+// ns/node-tick so runs at different n compare directly. Every variant is
+// built by runtime.New and driven through the Substrate interface — the
+// backend appears only in the construction config:
 //
-//   - pernode: the legacy per-node path (per-node locks, handler dispatch,
-//     per-message allocations) at its practical sizes.
+//   - pernode: the goroutine-per-node path (per-node locks, handler
+//     dispatch, per-message allocations) at its practical sizes.
 //   - sharded: the sharded tick engine at 10k, 100k, and (full mode only;
-//     skipped under -short) 1M nodes.
+//     skipped under -short) 1M nodes — the S&F baseline rows.
+//   - sharded/<proto>: the same engine under each of the other batch-core
+//     protocols at 10k and 100k, the per-protocol rows of
+//     BENCH_cluster.json schema 2.
 //
 // scripts/bench.sh runs this family and records BENCH_cluster.json.
 func BenchmarkClusterTick(b *testing.B) {
-	pernode := func(n int) func(*testing.B) {
+	tickRound := func(engine runtime.EngineKind, factory protocol.CoreFactory, n, warm int) func(*testing.B) {
 		return func(b *testing.B) {
-			cluster, err := runtime.NewCluster(runtime.ClusterConfig{
-				N: n, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 10,
+			sub, err := runtime.New(runtime.Config{
+				Engine: engine, N: n, NewCore: factory, Loss: 0.02, Seed: 10,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer sub.Close()
+			// Warm up the arenas so the timed region measures the
+			// zero-allocation steady state, not one-time buffer growth.
+			for i := 0; i < warm; i++ {
+				sub.TickRound()
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cluster.TickRound()
+				sub.TickRound()
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/node-tick")
 		}
 	}
-	sharded := func(n int) func(*testing.B) {
-		return func(b *testing.B) {
-			e, err := runtime.NewSharded(runtime.ShardedConfig{
-				N: n, NewCore: sfCoreFactory(16, 6), Loss: 0.02, Seed: 10,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer e.Close()
-			// Warm up the arenas so the timed region measures the
-			// zero-allocation steady state, not one-time buffer growth.
-			for i := 0; i < 8; i++ {
-				e.TickRound()
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				e.TickRound()
-			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/node-tick")
+	pernode := func(n int) func(*testing.B) {
+		return tickRound(runtime.EngineCluster, sfCoreFactory(16, 6), n, 0)
+	}
+	sharded := func(factory protocol.CoreFactory, n int) func(*testing.B) {
+		// Arena capacity creeps up for hundreds of rounds at n>=100k (the
+		// in-flight message high-water mark drifts under loss), so the
+		// larger sizes need a longer warm-up before allocs/op reads 0.
+		warm := 150
+		if n > 10_000 {
+			warm = 500
 		}
+		return tickRound(runtime.EngineSharded, factory, n, warm)
 	}
 	b.Run("pernode/n=500", pernode(500))
 	b.Run("pernode/n=10k", pernode(10_000))
-	b.Run("sharded/n=10k", sharded(10_000))
-	b.Run("sharded/n=100k", sharded(100_000))
+	b.Run("sharded/n=10k", sharded(sfCoreFactory(16, 6), 10_000))
+	b.Run("sharded/n=100k", sharded(sfCoreFactory(16, 6), 100_000))
 	b.Run("sharded/n=1M", func(b *testing.B) {
 		if testing.Short() {
 			b.Skip("1M-node round skipped under -short")
 		}
-		sharded(1_000_000)(b)
+		sharded(sfCoreFactory(16, 6), 1_000_000)(b)
 	})
+	for _, p := range benchProtocols() {
+		b.Run("sharded/"+p.name+"/n=10k", sharded(p.factory, 10_000))
+		b.Run("sharded/"+p.name+"/n=100k", sharded(p.factory, 100_000))
+	}
 }
 
 // BenchmarkGlobalChainBuild measures exact state-space enumeration of the

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sendforget/internal/experiments"
+	sfruntime "sendforget/internal/runtime"
 )
 
 func main() {
@@ -41,9 +42,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ids := fs.String("run", "", "comma-separated experiment ids to run")
 	csvDir := fs.String("csv", "", "also write each result table as CSV into this directory")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
+	engine := fs.String("engine", string(sfruntime.EngineCluster),
+		"execution backend for substrate-driven experiments: seq, cluster, or sharded")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	kind, err := sfruntime.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	experiments.SetEngine(kind)
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Fprintln(stdout, id)

@@ -1,4 +1,4 @@
-// Package analyzers is the repository's static-analysis suite: nine
+// Package analyzers is the repository's static-analysis suite: ten
 // framework.Analyzers that mechanically enforce the determinism,
 // lock-discipline, accounting, and goroutine-lifecycle invariants the
 // reproduction's correctness argument rests on.
@@ -11,7 +11,7 @@
 // the lock discipline, PR 3 the seed-derivation rule); this suite promotes
 // them to compiler-grade checks run by cmd/sfvet in CI.
 //
-// The first five analyzers are syntactic, per-package checks:
+// The first six analyzers are syntactic, per-package checks:
 //
 //	detrand        no ambient randomness or wall clock in simulation code
 //	seedflow       RNG seeds come from rng.DeriveSeed, never arithmetic
@@ -19,6 +19,9 @@
 //	counterbalance traffic counters move only through their owning package,
 //	               and every send is paired with an outcome
 //	maporder       no map-iteration order leaking into ordered output
+//	substrate      execution backends are built only via runtime.New — no
+//	               package outside internal/runtime calls a concrete
+//	               substrate constructor
 //
 // The remaining four are interprocedural, built on the framework's CFG,
 // call graph, and taint engine, and see the whole loaded program:
@@ -49,6 +52,7 @@ func All() []*framework.Analyzer {
 		Lockdiscipline,
 		Counterbalance,
 		Maporder,
+		Substrate,
 		Seedtaint,
 		Lockreach,
 		Goroleak,

@@ -1,0 +1,83 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sendforget/internal/analyzers/framework"
+)
+
+// Substrate enforces the construction boundary of the unified execution
+// backend (PR 7): every package outside internal/runtime builds backends
+// exclusively through runtime.New, the factory returning the Substrate
+// interface. The equivalence harness, benchmarks, and commands are
+// substrate-neutral by design — the three-way statistical agreement they
+// certify is only meaningful if the backend choice is a construction-time
+// parameter, never a code path. A direct call to NewCluster or NewSharded
+// outside the runtime package reintroduces a backend-specific branch that
+// the equivalence matrix cannot see.
+//
+// Type assertions to a concrete backend (sub.(*runtime.Cluster)) remain
+// legal: they recover extra surface (per-node handles, Start) from an
+// already-constructed substrate without choosing the backend. In fixture
+// packages, functions named NewCluster/NewSharded stand in for the runtime
+// constructors.
+var Substrate = &framework.Analyzer{
+	Name: "substrate",
+	Doc:  "execution backends are built only via runtime.New — no package outside internal/runtime calls a concrete substrate constructor",
+	Run:  runSubstrate,
+}
+
+func runSubstrate(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	if path == "sendforget/internal/runtime" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := substrateConstructor(pass, call); ok {
+				pass.Reportf(call.Pos(),
+					"%s constructs a concrete substrate directly: build backends with runtime.New so the engine choice stays construction-only", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// substrateConstructor reports whether the call targets a concrete substrate
+// constructor — runtime.NewCluster or runtime.NewSharded, or their
+// name-matched stand-ins in fixture packages — and names it for the
+// diagnostic.
+func substrateConstructor(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "NewCluster", "NewSharded":
+	default:
+		return "", false
+	}
+	p := fn.Pkg().Path()
+	if p == "sendforget/internal/runtime" || fixturePackage(p) {
+		return fn.Pkg().Name() + "." + fn.Name(), true
+	}
+	return "", false
+}

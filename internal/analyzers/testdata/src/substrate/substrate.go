@@ -1,0 +1,67 @@
+// Package substrate exercises the substrate analyzer: execution backends
+// are constructed only through the runtime.New factory, never by calling a
+// concrete constructor directly. In fixtures, package-level functions named
+// NewCluster/NewSharded stand in for the runtime constructors.
+package substrate
+
+// cluster and sharded mimic the two concrete backends.
+type cluster struct{ n int }
+type sharded struct{ n int }
+
+// NewCluster and NewSharded mimic runtime's concrete constructors.
+func NewCluster(n int) (*cluster, error) { return &cluster{n: n}, nil }
+func NewSharded(n int) (*sharded, error) { return &sharded{n: n}, nil }
+
+// New mimics the factory: the one place allowed to pick a backend. The
+// fixture package plays the role of an outside caller, so even the factory
+// body is flagged here — in the real tree the factory lives inside
+// internal/runtime, which is exempt.
+func New(kind string, n int) (any, error) {
+	switch kind {
+	case "sharded":
+		return NewSharded(n) // want `substrate\.NewSharded constructs a concrete substrate directly`
+	default:
+		return NewCluster(n) // want `substrate\.NewCluster constructs a concrete substrate directly`
+	}
+}
+
+// useFactory builds through the factory: clean.
+func useFactory() (any, error) {
+	return New("cluster", 10)
+}
+
+// direct calls a concrete constructor from harness code: the exact shape
+// the analyzer exists to reject.
+func direct() (*cluster, error) {
+	return NewCluster(10) // want `substrate\.NewCluster constructs a concrete substrate directly`
+}
+
+// directSharded is the sharded twin.
+func directSharded() (*sharded, error) {
+	return NewSharded(100000) // want `substrate\.NewSharded constructs a concrete substrate directly`
+}
+
+// allowed carries an explicit exemption: a migration shim may keep a direct
+// construction alive for one release with a recorded reason.
+func allowed() (*cluster, error) {
+	return NewCluster(10) //lint:allow substrate migration shim, removed with the legacy API
+}
+
+// newClusterMethod has the constructor name but a receiver: methods are not
+// package-level constructors and are not flagged.
+type builder struct{}
+
+func (builder) NewCluster(n int) *cluster { return &cluster{n: n} }
+
+func viaMethod() *cluster {
+	var b builder
+	return b.NewCluster(10)
+}
+
+// unrelated constructors stay clean: only the two concrete substrate
+// constructors are monitored.
+type thing struct{}
+
+func NewThing() *thing { return &thing{} }
+
+func makeThing() *thing { return NewThing() }

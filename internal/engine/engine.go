@@ -10,12 +10,16 @@
 // of delivered messages. A Round is n such steps, n the number of active
 // nodes: "the period of time during which each node is expected to initiate
 // exactly one action" (Section 6.5).
+//
+// Fault decisions, delay-queue mechanics, and traffic accounting live in
+// the shared internal/driver router; the engine contributes only its
+// scheduling discipline and the reply-chain walk.
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 
+	"sendforget/internal/driver"
 	"sendforget/internal/faults"
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
@@ -50,47 +54,15 @@ func (c Counters) LossRate() float64 {
 	return float64(c.Losses) / float64(c.Sends)
 }
 
-// delayed is one message held in the engine's delay queue.
-type delayed struct {
-	due int // round at which the message is deliverable
-	seq int // enqueue order, for deterministic equal-due drains
-	to  peer.ID
-	msg protocol.Message
-}
-
-// delayQueue is a min-heap on (due, seq).
-type delayQueue []delayed
-
-func (q delayQueue) Len() int { return len(q) }
-func (q delayQueue) Less(i, j int) bool {
-	if q[i].due != q[j].due {
-		return q[i].due < q[j].due
-	}
-	return q[i].seq < q[j].seq
-}
-func (q delayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *delayQueue) Push(x any)   { *q = append(*q, x.(delayed)) }
-func (q *delayQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // Engine drives one protocol instance. Not safe for concurrent use.
 type Engine struct {
-	proto    protocol.Protocol
-	loss     loss.Model         // legacy direct loss path (nil cond)
-	cond     *faults.Conditions // fault-injection path (when non-nil)
-	r        *rng.RNG
-	active   []peer.ID // scheduling pool
-	idx      map[peer.ID]int
-	counters Counters
-
-	round   int // completed/current Round index, the delay-queue clock
-	seq     int
-	pending delayQueue
+	proto  protocol.Protocol
+	cond   *faults.Conditions // fault-injection stack (nil = plain loss model)
+	r      *rng.RNG
+	router *driver.Router
+	active []peer.ID // scheduling pool
+	idx    map[peer.ID]int
+	steps  int
 
 	// OnStep, when non-nil, runs after every step with the step index.
 	// Metrics collectors hook here.
@@ -144,7 +116,16 @@ func build(proto protocol.Protocol, lm loss.Model, cond *faults.Conditions, r *r
 	if proto == nil || r == nil {
 		return nil, fmt.Errorf("engine: nil dependency")
 	}
-	e := &Engine{proto: proto, loss: lm, cond: cond, r: r, idx: make(map[peer.ID]int)}
+	e := &Engine{proto: proto, cond: cond, r: r, idx: make(map[peer.ID]int)}
+	// The router shares the engine's RNG: protocol draws and fault decisions
+	// interleave on one stream, preserving the engine's historical draw
+	// sequence (seed-calibrated tests depend on it).
+	live := func(id peer.ID) bool { _, ok := e.idx[id]; return ok }
+	if cond != nil {
+		e.router = driver.NewRouter(cond, r, live)
+	} else {
+		e.router = driver.NewRouterModel(lm, r, live)
+	}
 	churner, isChurner := proto.(protocol.Churner)
 	for u := 0; u < proto.N(); u++ {
 		id := peer.ID(u)
@@ -166,21 +147,23 @@ func (e *Engine) Conditions() *faults.Conditions { return e.cond }
 func (e *Engine) Protocol() protocol.Protocol { return e.proto }
 
 // Counters returns a copy of the transport counters.
-func (e *Engine) Counters() Counters { return e.counters }
+func (e *Engine) Counters() Counters {
+	l := e.router.Ledger()
+	return Counters{
+		Steps:          e.steps,
+		Sends:          l.Sends,
+		Losses:         l.Losses,
+		Deliveries:     l.Deliveries,
+		DeadLetters:    l.DeadLetters,
+		LinkLosses:     l.LinkLosses,
+		PartitionDrops: l.PartitionDrops,
+		Delayed:        l.Delayed,
+	}
+}
 
 // Traffic reports the transport counters in the substrate-neutral shape
 // shared with the concurrent runtime's Cluster.
-func (e *Engine) Traffic() metrics.Traffic {
-	return metrics.Traffic{
-		Sends:          e.counters.Sends,
-		Losses:         e.counters.Losses,
-		Deliveries:     e.counters.Deliveries,
-		DeadLetters:    e.counters.DeadLetters,
-		LinkLosses:     e.counters.LinkLosses,
-		PartitionDrops: e.counters.PartitionDrops,
-		Delayed:        e.counters.Delayed,
-	}
-}
+func (e *Engine) Traffic() metrics.Traffic { return e.router.Traffic() }
 
 // ActiveCount returns the number of schedulable nodes.
 func (e *Engine) ActiveCount() int { return len(e.active) }
@@ -194,8 +177,8 @@ func (e *Engine) Step() {
 // StepAt executes one protocol action initiated by u. Experiments measuring
 // a specific node's behaviour (Section 6.5 joins) use it directly.
 func (e *Engine) StepAt(u peer.ID) {
-	e.counters.Steps++
-	ev := ActionEvent{Step: e.counters.Steps, Initiator: u}
+	e.steps++
+	ev := ActionEvent{Step: e.steps, Initiator: u}
 	to, msg, ok := e.proto.Initiate(u, e.r)
 	if ok {
 		ev.Sent = true
@@ -203,63 +186,31 @@ func (e *Engine) StepAt(u peer.ID) {
 		e.transmit(to, msg, &ev)
 	}
 	if e.OnStep != nil {
-		e.OnStep(e.counters.Steps)
+		e.OnStep(e.steps)
 	}
 	if e.OnAction != nil {
 		e.OnAction(ev)
 	}
 }
 
-// transmit subjects msg to the fault layer and delivers it, following reply
-// chains (each reply is again subject to the fault layer). With a plain
-// loss model, destination-aware models (loss.DestinationModel) receive the
-// target so nonuniform loss can be simulated; with conditions, messages may
-// additionally be cut by partitions or parked in the delay queue until a
-// later round.
+// transmit routes msg through the shared driver and delivers it, following
+// reply chains (each reply is again subject to the fault layer). With a
+// plain loss model, destination-aware models (loss.DestinationModel)
+// receive the target so nonuniform loss can be simulated; with conditions,
+// messages may additionally be cut by partitions or parked in the delay
+// queue until a later round.
 func (e *Engine) transmit(to peer.ID, msg protocol.Message, ev *ActionEvent) {
 	for {
-		e.counters.Sends++
-		if e.cond != nil {
-			v := e.cond.Decide(msg.From, to, e.r)
-			if v.Drop != faults.DropNone {
-				e.counters.Losses++
-				switch v.Drop {
-				case faults.DropLink:
-					e.counters.LinkLosses++
-				case faults.DropPartition:
-					e.counters.PartitionDrops++
-				}
-				ev.Lost = true
-				return
-			}
-			if v.Delay > 0 {
-				e.counters.Delayed++
-				e.seq++
-				heap.Push(&e.pending, delayed{due: e.round + v.Delay, seq: e.seq, to: to, msg: msg})
-				return
-			}
-		} else {
-			lost := false
-			if destModel, destAware := e.loss.(loss.DestinationModel); destAware {
-				lost = destModel.LostTo(to, e.r)
-			} else {
-				lost = e.loss.Lost(e.r)
-			}
-			if lost {
-				e.counters.Losses++
-				ev.Lost = true
-				return
-			}
-		}
-		if _, isActive := e.idx[to]; !isActive {
-			// The destination left or failed: the message is silently
-			// dropped, exactly as in the paper ("every message sent to this
-			// node causes its id to be deleted from the sender's view").
-			e.counters.DeadLetters++
+		switch e.router.Route(to, msg) {
+		case driver.Dropped:
+			ev.Lost = true
+			return
+		case driver.Parked:
+			return
+		case driver.DeadLetter:
 			ev.DeadLetters++
 			return
 		}
-		e.counters.Deliveries++
 		ev.Delivered++
 		reply, replyTo, hasReply := e.proto.Deliver(to, msg, e.r)
 		if !hasReply {
@@ -273,7 +224,7 @@ func (e *Engine) transmit(to peer.ID, msg protocol.Message, ev *ActionEvent) {
 // many steps as there are active nodes run. Rounds are the delay-queue
 // clock; Step/StepAt called outside Round never advance it.
 func (e *Engine) Round() {
-	e.round++
+	e.router.Tick()
 	e.drainDue()
 	for i, n := 0, len(e.active); i < n; i++ {
 		e.Step()
@@ -281,7 +232,7 @@ func (e *Engine) Round() {
 }
 
 // PendingDelayed returns the number of messages parked in the delay queue.
-func (e *Engine) PendingDelayed() int { return len(e.pending) }
+func (e *Engine) PendingDelayed() int { return e.router.Pending() }
 
 // DrainDelayed advances the delay-queue clock without running any protocol
 // steps until the queue is empty, delivering everything in flight. Runs end
@@ -290,8 +241,8 @@ func (e *Engine) PendingDelayed() int { return len(e.pending) }
 // subject to the fault layer and may be re-delayed; the loop runs until
 // those settle too.
 func (e *Engine) DrainDelayed() {
-	for len(e.pending) > 0 {
-		e.round++
+	for e.router.Pending() > 0 {
+		e.router.Tick()
 		e.drainDue()
 	}
 }
@@ -302,15 +253,16 @@ func (e *Engine) DrainDelayed() {
 // re-enter transmit, so they face the fault layer like any send. OnAction
 // does not fire for these deliveries: they belong to no initiate step.
 func (e *Engine) drainDue() {
-	for len(e.pending) > 0 && e.pending[0].due <= e.round {
-		d := heap.Pop(&e.pending).(delayed)
-		var ev ActionEvent // counters only; not reported
-		if _, isActive := e.idx[d.to]; !isActive {
-			e.counters.DeadLetters++
+	for {
+		d, ok := e.router.Due()
+		if !ok {
+			return
+		}
+		if !e.router.Deliverable(d.To) {
 			continue
 		}
-		e.counters.Deliveries++
-		if reply, replyTo, hasReply := e.proto.Deliver(d.to, d.msg, e.r); hasReply {
+		var ev ActionEvent // counters only; not reported
+		if reply, replyTo, hasReply := e.proto.Deliver(d.To, d.Msg, e.r); hasReply {
 			e.transmit(replyTo, reply, &ev)
 		}
 	}

@@ -1,25 +1,25 @@
 // Package equivalence is the cross-substrate harness behind Proposition
-// 5.2: the sequential discrete-event engine (internal/engine), the
-// concurrent runtime cluster (internal/runtime.Cluster), and the sharded
-// tick engine (internal/runtime.ShardedCluster) drive the same per-node
-// step cores, so — up to scheduling randomness — they must induce
-// statistically matching overlays. The harness runs one protocol on all
-// three substrates from the same circulant bootstrap topology under the
-// same loss model, checks the protocol's per-view invariant on every
-// resulting view, and summarizes each overlay's in-degree distribution so
-// tests can assert the substrates agree pairwise (small Kolmogorov-Smirnov
-// distance, close mean degrees).
+// 5.2: the three execution backends behind runtime.Substrate (the
+// sequential discrete-event engine, the goroutine-per-node cluster, and
+// the sharded tick engine) drive the same per-node step cores, so — up to
+// scheduling randomness — they must induce statistically matching
+// overlays. The harness builds each backend through runtime.New from the
+// same core factory (hence the same circulant bootstrap topology) under
+// the same loss model, drives all of them with one identical round loop,
+// checks the protocol's per-view invariant on every resulting view, and
+// summarizes each overlay's in-degree distribution so tests can assert the
+// substrates agree pairwise (small Kolmogorov-Smirnov distance, close mean
+// degrees).
 //
-// All runs are fully deterministic: the engine is seeded, and both cluster
-// flavors are ticked manually round by round (no timers, no goroutine
-// scheduling influence on protocol state — the sharded engine is
-// bit-reproducible for any worker count by construction).
+// All runs are fully deterministic: every backend is seeded and ticked
+// manually round by round (no timers, no goroutine scheduling influence on
+// protocol state — the sharded engine is bit-reproducible for any worker
+// count by construction).
 package equivalence
 
 import (
 	"fmt"
 
-	"sendforget/internal/engine"
 	"sendforget/internal/faults"
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
@@ -48,13 +48,10 @@ type Config struct {
 	NewConditions func() (*faults.Conditions, error)
 	// Seed drives both substrates (with distinct derived streams).
 	Seed int64
-	// InitDegree is the circulant bootstrap outdegree. It must match the
-	// initial topology NewProtocol builds so the substrates start from the
-	// same overlay.
+	// InitDegree is the circulant bootstrap outdegree, shared by all
+	// substrates (runtime.New wires the same initial overlay everywhere).
 	InitDegree int
-	// NewProtocol builds the sequential substrate's protocol instance.
-	NewProtocol func() (protocol.Protocol, error)
-	// NewCore builds one fresh step core per concurrent runtime node.
+	// NewCore builds one fresh step core per node, on every substrate.
 	NewCore protocol.CoreFactory
 	// ShardedWorkers bounds the sharded substrate's worker pool (0 selects
 	// the engine's default). The sharded engine is bit-reproducible for any
@@ -90,18 +87,20 @@ type Result struct {
 }
 
 // Run executes the comparison. Beyond building the summaries it validates,
-// on both substrates, the protocol's own per-view invariant (via a fresh
+// on every substrate, the protocol's own per-view invariant (via a fresh
 // probe core's CheckView) and the hard view-size bound.
 func Run(cfg Config) (*Result, error) {
 	if cfg.N < 2 || cfg.Rounds < 1 {
 		return nil, fmt.Errorf("equivalence: need n >= 2 and rounds >= 1")
 	}
-	if cfg.NewProtocol == nil || cfg.NewCore == nil {
-		return nil, fmt.Errorf("equivalence: both substrate constructors are required")
+	if cfg.NewCore == nil {
+		return nil, fmt.Errorf("equivalence: a core factory is required")
 	}
 
 	// newConditions builds one substrate's fault stack: the configured
-	// factory, or the paper's uniform loss from the plain rate.
+	// factory, or the paper's uniform loss from the plain rate. Called once
+	// per substrate — stateful conditions (burst models, delay queues) must
+	// not be shared between runs.
 	newConditions := cfg.NewConditions
 	if newConditions == nil {
 		newConditions = func() (*faults.Conditions, error) {
@@ -113,88 +112,52 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Sequential substrate.
-	proto, err := cfg.NewProtocol()
-	if err != nil {
-		return nil, fmt.Errorf("equivalence: engine protocol: %w", err)
+	// The three backends differ only in construction: engine kind and seed
+	// stream (each substrate gets a distinct derived stream so none replays
+	// another's randomness). The drive loop below is identical for all.
+	backends := []struct {
+		kind runtime.EngineKind
+		seed int64
+	}{
+		{runtime.EngineSeq, cfg.Seed},
+		{runtime.EngineCluster, rng.DeriveSeed(cfg.Seed, 1)},
+		{runtime.EngineSharded, rng.DeriveSeed(cfg.Seed, 2)},
 	}
-	engCond, err := newConditions()
-	if err != nil {
-		return nil, err
+	summaries := make([]*Substrate, len(backends))
+	for i, b := range backends {
+		cond, err := newConditions()
+		if err != nil {
+			return nil, err
+		}
+		sub, err := runtime.New(runtime.Config{
+			Engine:     b.kind,
+			N:          cfg.N,
+			NewCore:    cfg.NewCore,
+			InitDegree: cfg.InitDegree,
+			Conditions: cond,
+			Workers:    cfg.ShardedWorkers,
+			Seed:       b.seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("equivalence: %s: %w", b.kind, err)
+		}
+		for r := 0; r < cfg.Rounds; r++ {
+			sub.TickRound()
+		}
+		// Flush the delay queue (no further protocol steps) so the traffic
+		// identity Sends = Losses + Deliveries + DeadLetters holds on the
+		// final counters.
+		sub.DrainDelayed()
+		err = sub.CheckInvariants()
+		if err == nil {
+			summaries[i], err = summarize(cfg, sub.Views(), sub.Traffic())
+		}
+		sub.Close()
+		if err != nil {
+			return nil, fmt.Errorf("equivalence: %s substrate: %w", b.kind, err)
+		}
 	}
-	e, err := engine.NewWithConditions(proto, engCond, rng.New(cfg.Seed))
-	if err != nil {
-		return nil, err
-	}
-	e.Run(cfg.Rounds)
-	// Flush the delay queue (no further protocol steps) so the traffic
-	// identity Sends = Losses + Deliveries + DeadLetters holds on the
-	// final counters.
-	e.DrainDelayed()
-	engSub, err := summarize(cfg, e.Views(), e.Traffic())
-	if err != nil {
-		return nil, fmt.Errorf("equivalence: engine substrate: %w", err)
-	}
-
-	// Concurrent substrate, ticked manually for determinism.
-	clCond, err := newConditions()
-	if err != nil {
-		return nil, err
-	}
-	cl, err := runtime.NewCluster(runtime.ClusterConfig{
-		N:          cfg.N,
-		NewCore:    cfg.NewCore,
-		InitDegree: cfg.InitDegree,
-		Conditions: clCond,
-		Seed:       rng.DeriveSeed(cfg.Seed, 1),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("equivalence: cluster: %w", err)
-	}
-	for i := 0; i < cfg.Rounds; i++ {
-		cl.TickRound()
-	}
-	for cl.Network().Pending() > 0 {
-		cl.Network().Advance()
-	}
-	if err := cl.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("equivalence: cluster substrate: %w", err)
-	}
-	clSub, err := summarize(cfg, cl.Views(), cl.Traffic())
-	if err != nil {
-		return nil, fmt.Errorf("equivalence: cluster substrate: %w", err)
-	}
-
-	// Sharded substrate, same manual round discipline. Its seed stream is
-	// derived with a different tweak than the cluster's so the two do not
-	// replay each other's randomness.
-	shCond, err := newConditions()
-	if err != nil {
-		return nil, err
-	}
-	sh, err := runtime.NewSharded(runtime.ShardedConfig{
-		N:          cfg.N,
-		NewCore:    cfg.NewCore,
-		InitDegree: cfg.InitDegree,
-		Conditions: shCond,
-		Workers:    cfg.ShardedWorkers,
-		Seed:       rng.DeriveSeed(cfg.Seed, 2),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("equivalence: sharded cluster: %w", err)
-	}
-	defer sh.Close()
-	for i := 0; i < cfg.Rounds; i++ {
-		sh.TickRound()
-	}
-	sh.DrainDelayed()
-	if err := sh.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("equivalence: sharded substrate: %w", err)
-	}
-	shSub, err := summarize(cfg, sh.Views(), sh.Traffic())
-	if err != nil {
-		return nil, fmt.Errorf("equivalence: sharded substrate: %w", err)
-	}
+	engSub, clSub, shSub := summaries[0], summaries[1], summaries[2]
 
 	return &Result{
 		Engine:           *engSub,

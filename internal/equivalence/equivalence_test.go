@@ -15,14 +15,13 @@ import (
 	"sendforget/internal/stats"
 )
 
-// A case pairs one protocol's two substrate constructors with a matched
-// bootstrap topology.
+// A case is one protocol's core factory with a matched bootstrap topology;
+// every substrate is built from the same factory through runtime.New.
 type equivCase struct {
 	name       string
 	n, rounds  int
 	lossRate   float64
 	initDegree int
-	newProto   func(n, initDegree int) (protocol.Protocol, error)
 	newCore    protocol.CoreFactory
 }
 
@@ -31,39 +30,24 @@ func cases() []equivCase {
 	return []equivCase{
 		{
 			name: "sendforget", n: n, rounds: 150, lossRate: 0.05, initDegree: 8,
-			newProto: func(n, d int) (protocol.Protocol, error) {
-				return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: d})
-			},
 			newCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
 		},
 		{
 			name: "sfopt", n: n, rounds: 150, lossRate: 0.05, initDegree: 8,
-			newProto: func(n, d int) (protocol.Protocol, error) {
-				return sfopt.New(sfopt.Options{N: n, S: 12, DL: 4, InitDegree: d, ReplaceWhenFull: true, Undelete: true})
-			},
 			newCore: func() (protocol.StepCore, error) {
 				return sfopt.NewCore(sfopt.Options{S: 12, DL: 4, ReplaceWhenFull: true, Undelete: true})
 			},
 		},
 		{
 			name: "shuffle", n: n, rounds: 80, lossRate: 0.02, initDegree: 5,
-			newProto: func(n, d int) (protocol.Protocol, error) {
-				return shuffle.New(shuffle.Config{N: n, S: 10, InitDegree: d})
-			},
 			newCore: func() (protocol.StepCore, error) { return shuffle.NewCore(10) },
 		},
 		{
 			name: "flipper", n: n, rounds: 80, lossRate: 0.02, initDegree: 5,
-			newProto: func(n, d int) (protocol.Protocol, error) {
-				return flipper.New(flipper.Config{N: n, S: 10, Degree: d})
-			},
 			newCore: func() (protocol.StepCore, error) { return flipper.NewCore(10) },
 		},
 		{
 			name: "pushpull", n: n, rounds: 100, lossRate: 0.05, initDegree: 5,
-			newProto: func(n, d int) (protocol.Protocol, error) {
-				return pushpull.New(pushpull.Config{N: n, S: 10, InitDegree: d})
-			},
 			newCore: func() (protocol.StepCore, error) { return pushpull.NewCore(10) },
 		},
 	}
@@ -89,10 +73,7 @@ func TestSubstrateEquivalence(t *testing.T) {
 					Loss:       tc.lossRate,
 					Seed:       seed,
 					InitDegree: tc.initDegree,
-					NewProtocol: func() (protocol.Protocol, error) {
-						return tc.newProto(tc.n, tc.initDegree)
-					},
-					NewCore: tc.newCore,
+					NewCore:    tc.newCore,
 				})
 				if err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
@@ -148,8 +129,7 @@ func TestRunDeterminism(t *testing.T) {
 	tc := cases()[0]
 	cfg := Config{
 		N: tc.n, Rounds: 50, Loss: tc.lossRate, Seed: 5, InitDegree: tc.initDegree,
-		NewProtocol: func() (protocol.Protocol, error) { return tc.newProto(tc.n, tc.initDegree) },
-		NewCore:     tc.newCore,
+		NewCore: tc.newCore,
 	}
 	a, err := Run(cfg)
 	if err != nil {
@@ -174,8 +154,7 @@ func TestRunValidation(t *testing.T) {
 	tc := cases()[0]
 	good := Config{
 		N: tc.n, Rounds: 10, Seed: 1, InitDegree: tc.initDegree,
-		NewProtocol: func() (protocol.Protocol, error) { return tc.newProto(tc.n, tc.initDegree) },
-		NewCore:     tc.newCore,
+		NewCore: tc.newCore,
 	}
 	bad := good
 	bad.N = 1
@@ -188,9 +167,9 @@ func TestRunValidation(t *testing.T) {
 		t.Error("accepted nil core factory")
 	}
 	bad = good
-	bad.NewProtocol = nil
+	bad.InitDegree = tc.n
 	if _, err := Run(bad); err == nil {
-		t.Error("accepted nil protocol constructor")
+		t.Error("accepted init degree >= n")
 	}
 	bad = good
 	bad.Loss = 2
@@ -245,9 +224,6 @@ func TestTrafficExactEqualityLossless(t *testing.T) {
 	)
 	res, err := Run(Config{
 		N: n, Rounds: rounds, Loss: 0, Seed: 7, InitDegree: s,
-		NewProtocol: func() (protocol.Protocol, error) {
-			return pushpull.New(pushpull.Config{N: n, S: s, InitDegree: s})
-		},
 		NewCore: func() (protocol.StepCore, error) { return pushpull.NewCore(s) },
 	})
 	if err != nil {
@@ -282,9 +258,6 @@ func TestTrafficConservationIdentity(t *testing.T) {
 	const n = 60
 	res, err := Run(Config{
 		N: n, Rounds: 150, Loss: 0, Seed: 11, InitDegree: 8,
-		NewProtocol: func() (protocol.Protocol, error) {
-			return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: 8})
-		},
 		NewCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
 	})
 	if err != nil {
@@ -337,9 +310,6 @@ func TestTrafficUnderBurstLoss(t *testing.T) {
 			}
 			return faults.New(gem)
 		},
-		NewProtocol: func() (protocol.Protocol, error) {
-			return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: 8})
-		},
 		NewCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
 	})
 	if err != nil {
@@ -376,9 +346,6 @@ func TestTrafficUnderDelay(t *testing.T) {
 				return nil, err
 			}
 			return cond, nil
-		},
-		NewProtocol: func() (protocol.Protocol, error) {
-			return sendforget.New(sendforget.Config{N: n, S: 12, DL: 4, InitDegree: 8})
 		},
 		NewCore: func() (protocol.StepCore, error) { return sendforget.NewCore(12, 4) },
 	})

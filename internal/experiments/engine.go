@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"sendforget/internal/runtime"
+)
+
+// substrateEngine selects the execution backend for the experiments that
+// drive a cluster through the unified Substrate interface (loss-stress
+// today). Commands set it once at startup from their -engine flag; the
+// default keeps the historical cluster-backed artifacts byte-stable.
+var substrateEngine atomic.Value // holds a runtime.EngineKind
+
+// SetEngine selects the execution backend for substrate-driven experiments.
+// Call it before Run; the empty kind restores the default (cluster).
+func SetEngine(k runtime.EngineKind) { substrateEngine.Store(k) }
+
+// SubstrateEngine returns the currently selected backend kind,
+// runtime.EngineCluster when none was set.
+func SubstrateEngine() runtime.EngineKind {
+	if k, ok := substrateEngine.Load().(runtime.EngineKind); ok && k != "" {
+		return k
+	}
+	return runtime.EngineCluster
+}

@@ -193,8 +193,9 @@ func runLossScenario(p LossStressParams, sc lossScenario) (lossStressPoint, erro
 	if err != nil {
 		return lossStressPoint{}, err
 	}
-	cl, err := runtime.NewCluster(runtime.ClusterConfig{
-		N: p.N,
+	cl, err := runtime.New(runtime.Config{
+		Engine: SubstrateEngine(),
+		N:      p.N,
 		NewCore: func() (protocol.StepCore, error) {
 			return sendforget.NewCore(p.S, p.DL)
 		},
@@ -205,6 +206,7 @@ func runLossScenario(p LossStressParams, sc lossScenario) (lossStressPoint, erro
 	if err != nil {
 		return lossStressPoint{}, err
 	}
+	defer cl.Close()
 	leaver := peer.ID(p.N - 1)
 	var halves [2][]peer.ID
 	live := make([]peer.ID, 0, p.N-1)
@@ -232,9 +234,7 @@ func runLossScenario(p LossStressParams, sc lossScenario) (lossStressPoint, erro
 		}
 		cl.TickRound()
 	}
-	for cl.Network().Pending() > 0 {
-		cl.Network().Advance()
-	}
+	cl.DrainDelayed()
 	if err := cl.CheckInvariants(); err != nil {
 		return lossStressPoint{}, fmt.Errorf("%s: %w", sc.name, err)
 	}

@@ -72,6 +72,19 @@ func (o *Outbox) Append2(to, from peer.ID, kind Kind, dup bool, id0, id1 peer.ID
 	})
 }
 
+// Append1 buffers one single-id message — the request/reply shape of the
+// flipper baseline and of degenerate shuffle offers. Like Append2 it is
+// Append specialized to fixed arity: one header store, no variadic slice,
+// no arena traffic.
+func (o *Outbox) Append1(to, from peer.ID, kind Kind, dup bool, id0 peer.ID) {
+	o.Msgs = append(o.Msgs, FlatMsg{
+		To: to, From: from,
+		IDs:   [2]peer.ID{id0, 0},
+		IDLen: 1,
+		Kind:  kind, Dup: dup,
+	})
+}
+
 // MsgIDs returns message m's ids. The slice aliases the header (inline ids)
 // or the arena: it is valid until the next Reset and must not be retained
 // past it. m must point into o.Msgs.

@@ -1,0 +1,63 @@
+package flipper
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+var _ protocol.BatchStepCore = (*Core)(nil)
+
+// InitiateBatch is Initiate on the allocation-free batch path: the same
+// flip offer with the pair selection through the fused single-draw
+// RandomPairFast and the single-id request written straight into the
+// driver's outbox. Per the BatchStepCore contract the core's diagnostic
+// counters are not maintained here.
+func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
+	i, j := lv.RandomPairFast(r)
+	v, w := lv.Slot(i), lv.Slot(j)
+	if v.IsNil() || w.IsNil() || v == w {
+		return 0, 0, false
+	}
+	lv.Clear(j)
+	out.Append1(v, u, protocol.KindRequest, false, w)
+	return 1, 0, true
+}
+
+// ReceiveBatch is Receive on the batch path. A request is the pointer flip
+// fused into one view op — detach a uniform occupied entry z, adopt w in a
+// uniform empty slot — with the reply appended to the outbox; a reply just
+// stores the returned id.
+func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
+	switch pkt.Kind {
+	case protocol.KindRequest:
+		if len(pkt.IDs) != 1 {
+			return false
+		}
+		z, ok := lv.ReplaceRandomOccupied(r, pkt.IDs[0])
+		if !ok {
+			// Degenerate: nothing to swap; adopt w if possible (an empty
+			// view always has room).
+			c.storeBatch(lv, pkt.IDs[0], r)
+			return false
+		}
+		out.Append1(pkt.From, u, protocol.KindReply, false, z)
+		return true
+	case protocol.KindReply:
+		if len(pkt.IDs) != 1 {
+			return false
+		}
+		c.storeBatch(lv, pkt.IDs[0], r)
+	}
+	return false
+}
+
+// storeBatch is store on the batch path: a fused uniform empty-slot pick,
+// dropping the id silently when the view is full (the scalar path counts
+// the drop; batch diagnostics are per the contract not maintained).
+func (c *Core) storeBatch(lv *view.View, id peer.ID, r *rng.RNG) {
+	if i, ok := lv.RandomEmptySlot(r); ok {
+		lv.Set(i, id)
+	}
+}

@@ -1,0 +1,42 @@
+package pushpull
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+var _ protocol.BatchStepCore = (*Core)(nil)
+
+// InitiateBatch is Initiate on the allocation-free batch path: the same
+// keep-on-send push with the pair selection through the fused single-draw
+// RandomPairFast and the message written straight into the driver's outbox.
+// Per the BatchStepCore contract the core's diagnostic counters are not
+// maintained here.
+func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
+	i, j := lv.RandomPairFast(r)
+	v, w := lv.Slot(i), lv.Slot(j)
+	if v.IsNil() || w.IsNil() {
+		return 0, 0, false
+	}
+	out.Append2(v, u, protocol.KindGossip, false, u, w)
+	return 1, 0, true
+}
+
+// ReceiveBatch is Receive on the batch path: store each pushed id into a
+// fused uniformly chosen empty slot, evicting a uniformly random entry when
+// the view is full. Push-pull never replies.
+func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
+	if pkt.Kind != protocol.KindGossip {
+		return false
+	}
+	for _, id := range pkt.IDs {
+		if i, ok := lv.RandomEmptySlot(r); ok {
+			lv.Set(i, id)
+			continue
+		}
+		lv.Set(r.Intn(lv.Size()), id)
+	}
+	return false
+}

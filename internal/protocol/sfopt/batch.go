@@ -1,0 +1,102 @@
+package sfopt
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+var _ protocol.BatchStepCore = (*Core)(nil)
+
+// chooseDistinct fills dst with distinct uniformly chosen values in [0, n)
+// by rejection sampling — the allocation-free counterpart of r.Choose(n, k),
+// with the same law (uniform over ordered distinct k-tuples) under a
+// different draw mapping. k <= n is guaranteed by the BatchK <= S option
+// bound, so the loop terminates.
+func chooseDistinct(r *rng.RNG, n int, dst []int) {
+	for i := range dst {
+	redraw:
+		v := r.Intn(n)
+		for _, prev := range dst[:i] {
+			if prev == v {
+				goto redraw
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// InitiateBatch is Initiate on the allocation-free batch path: the same
+// BatchK-slot selection and floor handling with the slot draw through
+// rejection sampling into preallocated scratch and the payload written
+// straight into the driver's outbox. The graveyard — protocol state, not a
+// diagnostic — is maintained exactly as on the scalar path; the core's
+// event counters are per the BatchStepCore contract not.
+func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
+	k := c.opts.BatchK
+	slots := c.slotsScratch[:k]
+	chooseDistinct(r, lv.Size(), slots)
+	for i, slot := range slots {
+		id := lv.Slot(slot)
+		if id.IsNil() {
+			return 0, 0, false
+		}
+		c.payload[i] = id
+	}
+	target := c.payload[0]
+	atFloor := lv.Outdegree() <= c.opts.DL
+	switch {
+	case !atFloor:
+		for _, slot := range slots {
+			c.bury(lv.Slot(slot))
+			lv.Clear(slot)
+		}
+	case c.opts.Undelete && c.gLen >= k:
+		for _, slot := range slots {
+			lv.Clear(slot)
+		}
+		for i := 0; i < k; i++ {
+			id := c.exhume()
+			if empty, ok := lv.RandomEmptySlot(r); ok {
+				lv.Set(empty, id)
+			}
+		}
+	default:
+		// Baseline duplication: keep the entries.
+	}
+	// The message is [u, ids[1:]...]: overwrite the target slot of the
+	// payload scratch with the sender id.
+	c.payload[0] = u
+	d := 0
+	if atFloor {
+		d = 1
+	}
+	if k == 2 {
+		out.Append2(target, u, protocol.KindGossip, atFloor, u, c.payload[1])
+	} else {
+		out.Append(target, u, protocol.KindGossip, atFloor, c.payload[:k]...)
+	}
+	return 1, d, true
+}
+
+// ReceiveBatch is Receive on the batch path: store each id into a fused
+// uniformly chosen empty slot, replacing (with burial) or deleting on
+// overflow per the options.
+func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
+	if pkt.Kind != protocol.KindGossip {
+		return false
+	}
+	for _, id := range pkt.IDs {
+		if empty, ok := lv.RandomEmptySlot(r); ok {
+			lv.Set(empty, id)
+			continue
+		}
+		if c.opts.ReplaceWhenFull {
+			slot := r.Intn(lv.Size())
+			c.bury(lv.Slot(slot))
+			lv.Set(slot, id)
+		}
+	}
+	return false
+}

@@ -15,9 +15,17 @@ import (
 // sequential adapter slot or concurrent runtime node — gets its own
 // instance. Not safe for concurrent use.
 type Core struct {
-	opts      Options
-	graveyard []peer.ID
-	counters  Counters
+	opts     Options
+	counters Counters
+	// The graveyard is a bounded FIFO ring over a preallocated buffer:
+	// bury evicts the oldest entry on overflow, exhume pops the most
+	// recent. A ring rather than a slice so the batch path stays
+	// allocation-free; it is protocol state (not a diagnostic), so both
+	// the scalar and the batch step maintain it.
+	grave        []peer.ID
+	gHead, gLen  int
+	slotsScratch []int     // batch-path slot selection, len BatchK
+	payload      []peer.ID // batch-path message payload, len BatchK
 }
 
 var _ protocol.StepCore = (*Core)(nil)
@@ -35,7 +43,15 @@ func NewCore(opts Options) (*Core, error) {
 	if opts.GraveyardSize == 0 {
 		opts.GraveyardSize = opts.S
 	}
-	return &Core{opts: opts}, nil
+	c := &Core{
+		opts:         opts,
+		slotsScratch: make([]int, opts.BatchK),
+		payload:      make([]peer.ID, opts.BatchK),
+	}
+	if opts.Undelete {
+		c.grave = make([]peer.ID, opts.GraveyardSize)
+	}
+	return c, nil
 }
 
 // Name identifies the active variant combination.
@@ -91,7 +107,7 @@ func (c *Core) Initiate(lv *view.View, u peer.ID, r *rng.RNG) ([]protocol.Outgoi
 			c.bury(lv.Slot(slot))
 			lv.Clear(slot)
 		}
-	case c.opts.Undelete && len(c.graveyard) >= k:
+	case c.opts.Undelete && c.gLen >= k:
 		// Optimization 1: clear the sent entries but refill from the
 		// graveyard — fresh-ish ids instead of correlated copies.
 		for _, slot := range slots {
@@ -147,22 +163,25 @@ func (c *Core) Receive(lv *view.View, u peer.ID, msg protocol.Message, r *rng.RN
 	return protocol.Outgoing{}, false
 }
 
-// bury pushes id onto the graveyard (bounded FIFO).
+// bury pushes id onto the graveyard ring (bounded FIFO: the oldest entry is
+// evicted on overflow).
 func (c *Core) bury(id peer.ID) {
 	if !c.opts.Undelete || id.IsNil() {
 		return
 	}
-	if len(c.graveyard) >= c.opts.GraveyardSize {
-		c.graveyard = c.graveyard[1:]
+	size := len(c.grave)
+	if c.gLen == size {
+		c.gHead = (c.gHead + 1) % size
+		c.gLen--
 	}
-	c.graveyard = append(c.graveyard, id)
+	c.grave[(c.gHead+c.gLen)%size] = id
+	c.gLen++
 }
 
 // exhume pops the most recently buried id.
 func (c *Core) exhume() peer.ID {
-	id := c.graveyard[len(c.graveyard)-1]
-	c.graveyard = c.graveyard[:len(c.graveyard)-1]
-	return id
+	c.gLen--
+	return c.grave[(c.gHead+c.gLen)%len(c.grave)]
 }
 
 // CheckView verifies even outdegree within [0, s]. The variant relaxes the

@@ -1,0 +1,67 @@
+package shuffle
+
+import (
+	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/rng"
+	"sendforget/internal/view"
+)
+
+var _ protocol.BatchStepCore = (*Core)(nil)
+
+// InitiateBatch is Initiate on the allocation-free batch path: the same
+// delete-on-send offer with the pair selection through the fused single-draw
+// RandomPairFast, the two clears fused into ClearOccupiedPair, and the
+// request written straight into the driver's outbox. Per the BatchStepCore
+// contract the core's diagnostic counters are not maintained here.
+func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
+	i, j := lv.RandomPairFast(r)
+	v, w := lv.Slot(i), lv.Slot(j)
+	if v.IsNil() || w.IsNil() {
+		return 0, 0, false
+	}
+	lv.ClearOccupiedPair(i, j)
+	out.Append2(v, u, protocol.KindRequest, false, u, w)
+	return 1, 0, true
+}
+
+// ReceiveBatch is Receive on the batch path. A request stores the offered
+// ids first, then removes up to two own entries — the swap-segment selection
+// through the fused RandomOccupiedPair/RandomOccupiedSlot — and appends them
+// as the reply; a reply just stores the returned ids.
+func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
+	switch pkt.Kind {
+	case protocol.KindRequest:
+		c.storeBatch(lv, pkt.IDs, r)
+		switch d := lv.Outdegree(); {
+		case d >= 2:
+			i, j, _ := lv.RandomOccupiedPair(r)
+			a, b := lv.Slot(i), lv.Slot(j)
+			lv.ClearOccupiedPair(i, j)
+			out.Append2(pkt.From, u, protocol.KindReply, false, a, b)
+			return true
+		case d == 1:
+			i, _ := lv.RandomOccupiedSlot(r)
+			a := lv.Slot(i)
+			lv.Clear(i)
+			out.Append1(pkt.From, u, protocol.KindReply, false, a)
+			return true
+		default:
+			return false
+		}
+	case protocol.KindReply:
+		c.storeBatch(lv, pkt.IDs, r)
+	}
+	return false
+}
+
+// storeBatch is store on the batch path: fused uniform empty-slot picks,
+// dropping ids that do not fit silently (the scalar path counts the drops;
+// batch diagnostics are per the contract not maintained).
+func (c *Core) storeBatch(lv *view.View, ids []peer.ID, r *rng.RNG) {
+	for _, id := range ids {
+		if i, ok := lv.RandomEmptySlot(r); ok {
+			lv.Set(i, id)
+		}
+	}
+}

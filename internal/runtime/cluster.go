@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"sendforget/internal/driver"
 	"sendforget/internal/faults"
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
@@ -55,9 +56,9 @@ type Cluster struct {
 	cfg ClusterConfig
 	net *transport.Network
 
-	mu           sync.RWMutex
-	nodes        []*Node
-	incarnations []int
+	mu     sync.RWMutex
+	nodes  []*Node
+	roster *driver.Roster // per-node incarnations and seed derivation
 
 	drainStop chan struct{}
 	drainWG   sync.WaitGroup
@@ -102,25 +103,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:          cfg,
-		net:          nw,
-		nodes:        make([]*Node, cfg.N),
-		incarnations: make([]int, cfg.N),
+		cfg:    cfg,
+		net:    nw,
+		nodes:  make([]*Node, cfg.N),
+		roster: driver.NewRoster(cfg.Seed, cfg.N),
 	}
+	seeds := make([]peer.ID, cfg.InitDegree)
 	for u := 0; u < cfg.N; u++ {
 		core, err := cfg.NewCore()
 		if err != nil {
 			return nil, fmt.Errorf("runtime: core for node %d: %w", u, err)
 		}
-		seeds := make([]peer.ID, cfg.InitDegree)
-		for k := range seeds {
-			seeds[k] = peer.ID((u + k + 1) % cfg.N)
-		}
+		driver.Circulant(peer.ID(u), cfg.N, seeds)
 		node, err := NewNode(NodeConfig{
 			ID:     peer.ID(u),
 			Core:   core,
 			Period: cfg.Period,
-			Seed:   c.seedFor(peer.ID(u), 0),
+			Seed:   c.roster.SeedFor(peer.ID(u)),
 		}, seeds, nw)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: node %d: %w", u, err)
@@ -153,14 +152,6 @@ func defaultInitDegree(f protocol.CoreFactory, n int) (int, error) {
 		}
 	}
 	return d, nil
-}
-
-// seedFor derives node u's RNG seed for its incarnation-th activation. A
-// splitmix-style hash keeps the streams collision-free: the old additive
-// scheme (Seed+u+1 initially, Seed+u+7919 on rejoin) made a rejoining node
-// reuse the initial stream of node u+7918 in large clusters.
-func (c *Cluster) seedFor(u peer.ID, incarnation int) int64 {
-	return rng.DeriveSeed(c.cfg.Seed, int64(u), int64(incarnation))
 }
 
 // nodesSnapshot copies the node slice under the read lock. Iterating the
@@ -243,6 +234,25 @@ func (c *Cluster) TickRound() {
 		}
 	}
 }
+
+// DrainDelayed advances the network clock without ticking any node until
+// the delay queue is empty, delivering everything in flight — the cluster
+// counterpart of Engine.DrainDelayed, run at the end of a comparison so the
+// traffic identity (metrics.Traffic.Conserved) holds exactly. Replies
+// generated by drained deliveries may be re-delayed; the loop runs until
+// those settle too.
+func (c *Cluster) DrainDelayed() {
+	for c.net.Pending() > 0 {
+		c.net.Advance()
+	}
+}
+
+// Pending returns the number of messages parked in the network delay queue.
+func (c *Cluster) Pending() int { return c.net.Pending() }
+
+// Close stops every node and the drain timer, releasing the cluster's
+// goroutines. The Substrate counterpart of Stop; idempotent.
+func (c *Cluster) Close() { c.Stop() }
 
 // Views snapshots all node views (nil entries for departed nodes).
 func (c *Cluster) Views() []*view.View {
@@ -350,12 +360,12 @@ func (c *Cluster) AddNode(u peer.ID, seeds []peer.ID, start bool) error {
 		c.mu.Unlock()
 		return fmt.Errorf("runtime: core for node %v: %w", u, err)
 	}
-	c.incarnations[u]++
+	c.roster.Bump(u)
 	node, err := NewNode(NodeConfig{
 		ID:     u,
 		Core:   core,
 		Period: c.cfg.Period,
-		Seed:   c.seedFor(u, c.incarnations[u]),
+		Seed:   c.roster.SeedFor(u),
 	}, seeds, c.net)
 	if err != nil {
 		c.mu.Unlock()

@@ -1,13 +1,13 @@
 package runtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math/bits"
 	gort "runtime"
 	"sync"
 	"sync/atomic"
 
+	"sendforget/internal/driver"
 	"sendforget/internal/faults"
 	"sendforget/internal/graph"
 	"sendforget/internal/loss"
@@ -94,59 +94,12 @@ const (
 	phaseDeliver
 )
 
-// ShardedCounters is the sharded engine's transport ledger, following the
-// unified cross-substrate semantics documented on metrics.Traffic. Declared
-// here (rather than writing metrics.Traffic fields directly) because the
-// counterbalance analyzer reserves ledger-field writes for the declaring
-// package: each substrate owns its ledger and converts whole at read time.
-type ShardedCounters struct {
-	Sends          int
-	Losses         int
-	Deliveries     int
-	DeadLetters    int
-	LinkLosses     int
-	PartitionDrops int
-	Delayed        int
-}
-
 // msgRef locates one routed message: index idx in source shard src's
 // current outbox. The route pass buckets references instead of copying
 // message bodies, so delivery reads each id exactly once from the arena it
 // was written to.
 type msgRef struct {
 	src, idx int32
-}
-
-// shardedDelayed is one message parked in the delay queue. Unlike in-phase
-// messages its ids are copied out of the arena (the arenas reset each tick).
-type shardedDelayed struct {
-	due  int
-	seq  int
-	to   peer.ID
-	from peer.ID
-	kind protocol.Kind
-	dup  bool
-	ids  []peer.ID
-}
-
-// shardedDelayQueue is a min-heap on (due, seq).
-type shardedDelayQueue []shardedDelayed
-
-func (q shardedDelayQueue) Len() int { return len(q) }
-func (q shardedDelayQueue) Less(i, j int) bool {
-	if q[i].due != q[j].due {
-		return q[i].due < q[j].due
-	}
-	return q[i].seq < q[j].seq
-}
-func (q shardedDelayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *shardedDelayQueue) Push(x any)   { *q = append(*q, x.(shardedDelayed)) }
-func (q *shardedDelayQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
 }
 
 // shardedNode packs one node's per-message state: the view header wrapping
@@ -190,10 +143,10 @@ type ShardedCluster struct {
 	// together in nodes so a random-destination receive touches one record
 	// (one or two cache lines) instead of four parallel arrays; the slot
 	// windows and the cold per-node state stay in their own arrays.
-	slots        []peer.ID     // n*s id array; node u's view is window u
-	nodes        []shardedNode // hot per-node state (view, rng, fast path, live)
-	cores        []protocol.StepCore
-	incarnations []int32
+	slots  []peer.ID     // n*s id array; node u's view is window u
+	nodes  []shardedNode // hot per-node state (view, rng, fast path, live)
+	cores  []protocol.StepCore
+	roster *driver.Roster // per-node incarnations and seed derivation
 
 	// Per-shard buffers and counters, indexed by shard.
 	outboxes []protocol.Outbox // initiate phase output (source-sharded)
@@ -209,13 +162,10 @@ type ShardedCluster struct {
 	replyOut   []protocol.Outbox
 	replySets  [2][]protocol.Outbox
 
-	// Route-phase state: one deterministic stream for fault decisions,
-	// consumed in merged shard order.
-	netRNG  *rng.RNG
-	traffic ShardedCounters
-	tick    int
-	seq     int
-	pending shardedDelayQueue
+	// router is the shared transmission discipline (fault decisions,
+	// delay queue, traffic ledger), drawing from one deterministic stream
+	// consumed in merged shard order. Accessed only by the gate holder.
+	router *driver.Router
 
 	// scratch is the sequential outbox used when delivering drained
 	// delayed messages and their reply chains outside the phased path.
@@ -292,17 +242,18 @@ func NewSharded(cfg ShardedConfig) (*ShardedCluster, error) {
 		done:      make(chan struct{}),
 		quit:      make(chan struct{}),
 
-		slots:        make([]peer.ID, cfg.N*s),
-		nodes:        make([]shardedNode, cfg.N),
-		cores:        make([]protocol.StepCore, cfg.N),
-		incarnations: make([]int32, cfg.N),
+		slots:  make([]peer.ID, cfg.N*s),
+		nodes:  make([]shardedNode, cfg.N),
+		cores:  make([]protocol.StepCore, cfg.N),
+		roster: driver.NewRoster(cfg.Seed, cfg.N),
 
 		outboxes:  make([]protocol.Outbox, shards),
 		inboxRefs: make([][]msgRef, shards),
 		counters:  make([]NodeCounters, shards),
-
-		netRNG: rng.New(cfg.Seed),
 	}
+	e.router = driver.NewRouter(cond, rng.New(cfg.Seed), func(id peer.ID) bool {
+		return e.nodes[id].live
+	})
 	if shardSize&(shardSize-1) == 0 {
 		// Power-of-two shard size (the default geometry): the route pass
 		// maps destination ids to shards with a shift instead of a divide.
@@ -314,9 +265,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedCluster, error) {
 
 	seeds := make([]peer.ID, cfg.InitDegree)
 	for u := 0; u < cfg.N; u++ {
-		for k := range seeds {
-			seeds[k] = peer.ID((u + k + 1) % cfg.N)
-		}
+		driver.Circulant(peer.ID(u), cfg.N, seeds)
 		if err := e.activate(peer.ID(u), seeds); err != nil {
 			return nil, fmt.Errorf("runtime: node %d: %w", u, err)
 		}
@@ -344,12 +293,6 @@ func defaultShardSize(n int) int {
 	return size
 }
 
-// seedFor derives node u's RNG seed for its incarnation-th activation,
-// mirroring Cluster.seedFor's collision-free splitmix derivation.
-func (e *ShardedCluster) seedFor(u peer.ID, incarnation int32) int64 {
-	return rng.DeriveSeed(e.cfg.Seed, int64(u), int64(incarnation))
-}
-
 // activate installs a fresh core, view, and RNG stream for node u. Callers
 // hold the gate (or, in NewSharded, are the only reference holder).
 func (e *ShardedCluster) activate(u peer.ID, seeds []peer.ID) error {
@@ -372,7 +315,7 @@ func (e *ShardedCluster) activate(u peer.ID, seeds []peer.ID) error {
 	nd.view = view.Wrap(window)
 	e.cores[u] = core
 	nd.batch, _ = core.(protocol.BatchStepCore)
-	nd.rng = rng.NewState(e.seedFor(u, e.incarnations[u]))
+	nd.rng = rng.NewState(e.roster.SeedFor(u))
 	nd.live = true
 	return nil
 }
@@ -537,40 +480,18 @@ func (e *ShardedCluster) route(boxes []protocol.Outbox) bool {
 	e.deliverSrc = boxes
 	// One condition-stack session for the whole pass: the stack is locked
 	// once here instead of once per message (route is sequential, so the
-	// single-owner contract holds trivially).
+	// single-owner contract holds trivially). The router rules per message
+	// — drop, park (copying the ids out of the transient arena), dead
+	// letter, or deliver — and the bucketing of survivors stays here.
 	ses := e.cond.Begin()
 	for k := range boxes {
 		ob := &boxes[k]
 		for i := range ob.Msgs {
 			m := &ob.Msgs[i]
-			e.traffic.Sends++
-			v := ses.Decide(m.From, m.To, e.netRNG)
-			if v.Drop != faults.DropNone {
-				e.traffic.Losses++
-				switch v.Drop {
-				case faults.DropLink:
-					e.traffic.LinkLosses++
-				case faults.DropPartition:
-					e.traffic.PartitionDrops++
-				}
+			msg := protocol.Message{Kind: m.Kind, From: m.From, IDs: ob.MsgIDs(m), Dup: m.Dup}
+			if e.router.RouteIn(&ses, m.To, msg) != driver.Delivered {
 				continue
 			}
-			if v.Delay > 0 {
-				e.traffic.Delayed++
-				e.seq++
-				ids := make([]peer.ID, m.IDLen)
-				copy(ids, ob.MsgIDs(m))
-				heap.Push(&e.pending, shardedDelayed{
-					due: e.tick + v.Delay, seq: e.seq,
-					to: m.To, from: m.From, kind: m.Kind, dup: m.Dup, ids: ids,
-				})
-				continue
-			}
-			if !e.nodes[m.To].live {
-				e.traffic.DeadLetters++
-				continue
-			}
-			e.traffic.Deliveries++
 			dest := int(m.To) / e.shardSize
 			if e.shardPow2 {
 				dest = int(m.To) >> e.shardShift
@@ -589,24 +510,26 @@ func (e *ShardedCluster) route(boxes []protocol.Outbox) bool {
 // resolved at drain time, so a message to a node that departed while in
 // flight is a dead letter, exactly as on the other substrates.
 func (e *ShardedCluster) drainDue() {
-	for len(e.pending) > 0 && e.pending[0].due <= e.tick {
-		d := heap.Pop(&e.pending).(shardedDelayed)
-		e.deliverNow(d.to, protocol.Packet{Kind: d.kind, From: d.from, IDs: d.ids, Dup: d.dup})
+	for {
+		d, ok := e.router.Due()
+		if !ok {
+			return
+		}
+		if !e.router.Deliverable(d.To) {
+			continue
+		}
+		e.deliverNow(d.To, protocol.Packet{Kind: d.Msg.Kind, From: d.Msg.From, IDs: d.Msg.IDs, Dup: d.Msg.Dup})
 	}
 }
 
 // deliverNow delivers one message immediately, following its reply chain
 // through the fault stack (replies may be dropped, delayed, or delivered in
-// turn). Used for drained delayed messages only; phased delivery handles
-// the per-tick bulk.
+// turn). The first hop is already accounted by the caller's Deliverable
+// check; replies re-enter the router like any send. Used for drained
+// delayed messages only; phased delivery handles the per-tick bulk.
 func (e *ShardedCluster) deliverNow(to peer.ID, pkt protocol.Packet) {
 	for {
 		nd := &e.nodes[to]
-		if !nd.live {
-			e.traffic.DeadLetters++
-			return
-		}
-		e.traffic.Deliveries++
 		k := int(to) / e.shardSize
 		e.scratch.Reset()
 		cnt := &e.counters[k]
@@ -627,27 +550,8 @@ func (e *ShardedCluster) deliverNow(to peer.ID, pkt protocol.Packet) {
 		// Current protocols reply with at most one message; route it and
 		// continue the chain.
 		m := &e.scratch.Msgs[0]
-		e.traffic.Sends++
-		v := e.cond.Decide(m.From, m.To, e.netRNG)
-		if v.Drop != faults.DropNone {
-			e.traffic.Losses++
-			switch v.Drop {
-			case faults.DropLink:
-				e.traffic.LinkLosses++
-			case faults.DropPartition:
-				e.traffic.PartitionDrops++
-			}
-			return
-		}
-		if v.Delay > 0 {
-			e.traffic.Delayed++
-			e.seq++
-			ids := make([]peer.ID, m.IDLen)
-			copy(ids, e.scratch.MsgIDs(m))
-			heap.Push(&e.pending, shardedDelayed{
-				due: e.tick + v.Delay, seq: e.seq,
-				to: m.To, from: m.From, kind: m.Kind, dup: m.Dup, ids: ids,
-			})
+		msg := protocol.Message{Kind: m.Kind, From: m.From, IDs: e.scratch.MsgIDs(m), Dup: m.Dup}
+		if e.router.Route(m.To, msg) != driver.Delivered {
 			return
 		}
 		to = m.To
@@ -662,7 +566,7 @@ func (e *ShardedCluster) deliverNow(to peer.ID, pkt protocol.Packet) {
 // route until the round is quiet.
 func (e *ShardedCluster) TickRound() {
 	<-e.gate
-	e.tick++
+	e.router.Tick()
 	e.drainDue()
 	e.runPhase(phaseInitiate)
 	cur := e.outboxes
@@ -693,8 +597,8 @@ func (e *ShardedCluster) TickRound() {
 // traffic identity (metrics.Traffic.Conserved) holds exactly.
 func (e *ShardedCluster) DrainDelayed() {
 	<-e.gate
-	for len(e.pending) > 0 {
-		e.tick++
+	for e.router.Pending() > 0 {
+		e.router.Tick()
 		e.drainDue()
 	}
 	e.gate <- struct{}{}
@@ -703,7 +607,7 @@ func (e *ShardedCluster) DrainDelayed() {
 // Pending returns the number of messages parked in the delay queue.
 func (e *ShardedCluster) Pending() int {
 	<-e.gate
-	n := len(e.pending)
+	n := e.router.Pending()
 	e.gate <- struct{}{}
 	return n
 }
@@ -746,17 +650,9 @@ func (e *ShardedCluster) Counters() NodeCounters {
 // counting semantics).
 func (e *ShardedCluster) Traffic() metrics.Traffic {
 	<-e.gate
-	t := e.traffic
+	t := e.router.Traffic()
 	e.gate <- struct{}{}
-	return metrics.Traffic{
-		Sends:          t.Sends,
-		Losses:         t.Losses,
-		Deliveries:     t.Deliveries,
-		DeadLetters:    t.DeadLetters,
-		LinkLosses:     t.LinkLosses,
-		PartitionDrops: t.PartitionDrops,
-		Delayed:        t.Delayed,
-	}
+	return t
 }
 
 // Conditions returns the fault-injection stack for mid-run reconfiguration
@@ -808,7 +704,7 @@ func (e *ShardedCluster) AddNode(u peer.ID, seeds []peer.ID, start bool) error {
 	if e.nodes[u].live {
 		return fmt.Errorf("runtime: node %v is already active", u)
 	}
-	e.incarnations[u]++
+	e.roster.Bump(u)
 	return e.activate(u, seeds)
 }
 

@@ -8,8 +8,35 @@ import (
 
 	"sendforget/internal/faults"
 	"sendforget/internal/peer"
+	"sendforget/internal/protocol"
+	"sendforget/internal/protocol/flipper"
+	"sendforget/internal/protocol/pushpull"
+	"sendforget/internal/protocol/sendforget"
+	"sendforget/internal/protocol/sfopt"
+	"sendforget/internal/protocol/shuffle"
 	"sendforget/internal/runtime"
 )
+
+// batchProtocols lists all five protocols with batch step cores, the full
+// set the sharded engine runs allocation-free. The factories mirror
+// cmd/sfsim's defaults at view size 16.
+func batchProtocols() []struct {
+	name    string
+	factory protocol.CoreFactory
+} {
+	return []struct {
+		name    string
+		factory protocol.CoreFactory
+	}{
+		{"sf", func() (protocol.StepCore, error) { return sendforget.NewCore(16, 6) }},
+		{"sfopt", func() (protocol.StepCore, error) {
+			return sfopt.NewCore(sfopt.Options{S: 16, DL: 6, ReplaceWhenFull: true, Undelete: true})
+		}},
+		{"shuffle", func() (protocol.StepCore, error) { return shuffle.NewCore(16) }},
+		{"flipper", func() (protocol.StepCore, error) { return flipper.NewCore(16) }},
+		{"pushpull", func() (protocol.StepCore, error) { return pushpull.NewCore(16) }},
+	}
+}
 
 func TestShardedValidation(t *testing.T) {
 	if _, err := runtime.NewSharded(runtime.ShardedConfig{N: 1, NewCore: sfFactory(8, 2)}); err == nil {
@@ -83,8 +110,8 @@ func shardedFingerprint(e *runtime.ShardedCluster) string {
 
 // TestShardedDeterministicAcrossWorkers is the engine's core guarantee: the
 // worker count changes wall-clock time only, never results. Every view
-// byte, counter, and traffic number must match across worker counts — with
-// and without a delay queue in play.
+// byte, counter, and traffic number must match across worker counts — for
+// all five batch protocols, with and without a delay queue in play.
 func TestShardedDeterministicAcrossWorkers(t *testing.T) {
 	gmp := gort.GOMAXPROCS(0)
 	cases := []struct {
@@ -94,38 +121,40 @@ func TestShardedDeterministicAcrossWorkers(t *testing.T) {
 		{name: "immediate"},
 		{name: "delayed", delay: faults.Delay{Fixed: 1, Jitter: 3}},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			var want string
-			for _, workers := range []int{1, 4, gmp} {
-				cond := faults.Lossless()
-				if tc.delay.Fixed > 0 || tc.delay.Jitter > 0 {
-					if err := cond.SetDelay(tc.delay); err != nil {
+	for _, p := range batchProtocols() {
+		for _, tc := range cases {
+			t.Run(p.name+"/"+tc.name, func(t *testing.T) {
+				var want string
+				for _, workers := range []int{1, 4, gmp} {
+					cond := faults.Lossless()
+					if tc.delay.Fixed > 0 || tc.delay.Jitter > 0 {
+						if err := cond.SetDelay(tc.delay); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						cond = nil
+					}
+					e, err := runtime.NewSharded(runtime.ShardedConfig{
+						N: 200, NewCore: p.factory, Loss: 0.05,
+						Conditions: cond, Seed: 17, ShardSize: 16, Workers: workers,
+					})
+					if err != nil {
 						t.Fatal(err)
 					}
-				} else {
-					cond = nil
+					for round := 0; round < 60; round++ {
+						e.TickRound()
+					}
+					e.DrainDelayed()
+					got := shardedFingerprint(e)
+					e.Close()
+					if want == "" {
+						want = got
+					} else if got != want {
+						t.Errorf("workers=%d produced different results than workers=1", workers)
+					}
 				}
-				e, err := runtime.NewSharded(runtime.ShardedConfig{
-					N: 200, NewCore: sfFactory(12, 4), Loss: 0.05,
-					Conditions: cond, Seed: 17, ShardSize: 16, Workers: workers,
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				for round := 0; round < 60; round++ {
-					e.TickRound()
-				}
-				e.DrainDelayed()
-				got := shardedFingerprint(e)
-				e.Close()
-				if want == "" {
-					want = got
-				} else if got != want {
-					t.Errorf("workers=%d produced different results than workers=1", workers)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -289,23 +318,29 @@ func TestShardedChurnWhileTicking(t *testing.T) {
 	}
 }
 
-// TestShardedZeroAllocTick is the memory-budget gate: after warm-up, a
-// steady-state tick round performs zero heap allocations (flat state, reused
-// outboxes, batch step cores). CI runs this test; a regression that starts
-// allocating per message fails it immediately.
+// TestShardedZeroAllocTick is the memory-budget gate, parameterized over all
+// five batch step cores: after warm-up, a steady-state tick round performs
+// zero heap allocations (flat state, reused outboxes, fused view primitives).
+// CI runs this test; a protocol whose batch core starts allocating per
+// message fails its own subtest immediately.
 func TestShardedZeroAllocTick(t *testing.T) {
-	e, err := runtime.NewSharded(runtime.ShardedConfig{N: 2000, NewCore: sfFactory(16, 6), Loss: 0.02, Seed: 10, Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer e.Close()
-	// Warm up until the outbox arenas reach their steady-state capacity.
-	for round := 0; round < 50; round++ {
-		e.TickRound()
-	}
-	avg := testing.AllocsPerRun(20, e.TickRound)
-	if avg != 0 {
-		t.Errorf("steady-state TickRound allocates %.1f times per round, want 0", avg)
+	for _, p := range batchProtocols() {
+		t.Run(p.name, func(t *testing.T) {
+			e, err := runtime.NewSharded(runtime.ShardedConfig{N: 2000, NewCore: p.factory, Loss: 0.02, Seed: 10, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			// Warm up until the outbox arenas reach their steady-state
+			// capacity.
+			for round := 0; round < 50; round++ {
+				e.TickRound()
+			}
+			avg := testing.AllocsPerRun(20, e.TickRound)
+			if avg != 0 {
+				t.Errorf("steady-state TickRound allocates %.1f times per round, want 0", avg)
+			}
+		})
 	}
 }
 

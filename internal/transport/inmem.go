@@ -1,10 +1,10 @@
 package transport
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 
+	"sendforget/internal/driver"
 	"sendforget/internal/faults"
 	"sendforget/internal/loss"
 	"sendforget/internal/peer"
@@ -42,51 +42,21 @@ type Counters struct {
 	Delayed int
 }
 
-// delayed is one message held in the delay queue.
-type delayed struct {
-	due int // tick at which the message is deliverable
-	seq int // enqueue order, to make equal-due drains deterministic
-	to  peer.ID
-	msg protocol.Message
-}
-
-// delayQueue is a min-heap on (due, seq).
-type delayQueue []delayed
-
-func (q delayQueue) Len() int { return len(q) }
-func (q delayQueue) Less(i, j int) bool {
-	if q[i].due != q[j].due {
-		return q[i].due < q[j].due
-	}
-	return q[i].seq < q[j].seq
-}
-func (q delayQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *delayQueue) Push(x any)   { *q = append(*q, x.(delayed)) }
-func (q *delayQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // Network is an in-memory datagram network for the concurrent runtime:
 // every Send consults the fault-injection conditions (loss, partitions,
 // delay), then the receiver's handler runs synchronously — or, for delayed
-// messages, when Advance drains the delay queue. Safe for concurrent use.
+// messages, when Advance drains the delay queue. The fault decision, delay
+// queue, and accounting are the shared internal/driver router, serialized
+// under the network lock. Safe for concurrent use.
 type Network struct {
-	mu   sync.Mutex
-	cond *faults.Conditions
-	r    *rng.RNG
+	mu     sync.Mutex
+	cond   *faults.Conditions
+	router *driver.Router
 	// handlers is a dense slice indexed by node id: simulator ids are small
 	// dense integers (see package peer), so routing is an index instead of
 	// a map probe on every Send. The slice grows on Register; unregistered
 	// or out-of-range ids are unroutable (nil entry).
 	handlers []Handler
-	counters Counters
-	tick     int
-	seq      int
-	pending  delayQueue
 }
 
 // NewNetwork builds a network dropping messages per the given loss model —
@@ -111,7 +81,13 @@ func NewNetworkWithConditions(cond *faults.Conditions, r *rng.RNG) (*Network, er
 	if cond == nil || r == nil {
 		return nil, fmt.Errorf("transport: nil dependency")
 	}
-	return &Network{cond: cond, r: r}, nil
+	nw := &Network{cond: cond}
+	// A destination is routable while it has a handler; the router calls
+	// this under nw.mu.
+	nw.router = driver.NewRouter(cond, r, func(id peer.ID) bool {
+		return nw.handlerFor(id) != nil
+	})
+	return nw, nil
 }
 
 // Conditions returns the network's fault-injection stack, for dynamic
@@ -151,33 +127,11 @@ func (nw *Network) handlerFor(id peer.ID) Handler {
 // runtime can treat both uniformly.
 func (nw *Network) Send(to peer.ID, msg protocol.Message) error {
 	nw.mu.Lock()
-	nw.counters.Sent++
-	v := nw.cond.Decide(msg.From, to, nw.r)
-	if v.Drop != faults.DropNone {
-		nw.counters.Lost++
-		switch v.Drop {
-		case faults.DropLink:
-			nw.counters.LinkLost++
-		case faults.DropPartition:
-			nw.counters.PartitionDropped++
-		}
-		nw.mu.Unlock()
-		return nil
-	}
-	if v.Delay > 0 {
-		nw.counters.Delayed++
-		nw.seq++
-		heap.Push(&nw.pending, delayed{due: nw.tick + v.Delay, seq: nw.seq, to: to, msg: msg})
+	if nw.router.Route(to, msg) != driver.Delivered {
 		nw.mu.Unlock()
 		return nil
 	}
 	h := nw.handlerFor(to)
-	if h == nil {
-		nw.counters.NoRoute++
-		nw.mu.Unlock()
-		return nil
-	}
-	nw.counters.Delivered++
 	nw.mu.Unlock()
 	h(msg)
 	return nil
@@ -189,25 +143,22 @@ func (nw *Network) Send(to peer.ID, msg protocol.Message) error {
 // routing is resolved at drain time, so a message to a node that departed
 // while in flight counts as NoRoute. Handlers run outside the lock.
 func (nw *Network) Advance() {
-	nw.mu.Lock()
-	nw.tick++
-	var due []delayed
-	for len(nw.pending) > 0 && nw.pending[0].due <= nw.tick {
-		due = append(due, heap.Pop(&nw.pending).(delayed))
-	}
 	type delivery struct {
 		h   Handler
 		msg protocol.Message
 	}
-	deliveries := make([]delivery, 0, len(due))
-	for _, d := range due {
-		h := nw.handlerFor(d.to)
-		if h == nil {
-			nw.counters.NoRoute++
+	var deliveries []delivery
+	nw.mu.Lock()
+	nw.router.Tick()
+	for {
+		d, ok := nw.router.Due()
+		if !ok {
+			break
+		}
+		if !nw.router.Deliverable(d.To) {
 			continue
 		}
-		nw.counters.Delivered++
-		deliveries = append(deliveries, delivery{h: h, msg: d.msg})
+		deliveries = append(deliveries, delivery{h: nw.handlerFor(d.To), msg: d.Msg})
 	}
 	nw.mu.Unlock()
 	for _, d := range deliveries {
@@ -219,12 +170,21 @@ func (nw *Network) Advance() {
 func (nw *Network) Pending() int {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return len(nw.pending)
+	return nw.router.Pending()
 }
 
 // Counters returns a snapshot of the counters.
 func (nw *Network) Counters() Counters {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return nw.counters
+	l := nw.router.Ledger()
+	return Counters{
+		Sent:             l.Sends,
+		Lost:             l.Losses,
+		Delivered:        l.Deliveries,
+		NoRoute:          l.DeadLetters,
+		LinkLost:         l.LinkLosses,
+		PartitionDropped: l.PartitionDrops,
+		Delayed:          l.Delayed,
+	}
 }

@@ -218,6 +218,120 @@ func (v *View) ClearOccupiedPair(i, j int) {
 	v.occ &^= m
 }
 
+// RandomEmptySlot returns one uniformly chosen empty slot index without
+// allocating — the hot-path form of RandomEmptySlots(r, 1) used by batch
+// receive steps that store ids one at a time. The slot distribution matches
+// RandomEmptySlots', but the RNG draw mapping differs (one Intn draw instead
+// of a Choose permutation step), so the two forms are not stream-compatible
+// under a shared seed. It returns ok = false when the view is full.
+func (v *View) RandomEmptySlot(r *rng.RNG) (int, bool) {
+	s := len(v.slots)
+	e := s - v.out
+	if e == 0 {
+		return 0, false
+	}
+	x := r.Intn(e)
+	if s <= 64 {
+		mask := ^uint64(0)
+		if s < 64 {
+			mask = 1<<uint(s) - 1
+		}
+		return nthSetBit(^v.occ&mask, x), true
+	}
+	k := 0
+	for i, id := range v.slots {
+		if id != peer.Nil {
+			continue
+		}
+		if k == x {
+			return i, true
+		}
+		k++
+	}
+	return 0, false // unreachable: e > 0
+}
+
+// RandomOccupiedSlot returns one uniformly chosen occupied slot index
+// without allocating — the fused form of indexing OccupiedSlots() with
+// r.Intn, used by batch receive steps (flipper's pointer flip, shuffle's
+// single-entry swap). It returns ok = false when the view is empty.
+func (v *View) RandomOccupiedSlot(r *rng.RNG) (int, bool) {
+	if v.out == 0 {
+		return 0, false
+	}
+	x := r.Intn(v.out)
+	s := len(v.slots)
+	if s <= 64 {
+		return nthSetBit(v.occ, x), true
+	}
+	k := 0
+	for i, id := range v.slots {
+		if id == peer.Nil {
+			continue
+		}
+		if k == x {
+			return i, true
+		}
+		k++
+	}
+	return 0, false // unreachable: out > 0
+}
+
+// RandomOccupiedPair returns an ordered pair of distinct uniformly chosen
+// occupied slot indices without allocating — shuffle's swap-segment
+// selection (pick the entries to offer) fused the way RandomEmptyPair fuses
+// the receive fill. The pair distribution is uniform over ordered distinct
+// occupied slots up to rng.FastPair's negligible lane bias; the draw mapping
+// differs from the scalar Choose path. It returns ok = false when fewer than
+// two slots are occupied.
+func (v *View) RandomOccupiedPair(r *rng.RNG) (a, b int, ok bool) {
+	if v.out < 2 {
+		return 0, 0, false
+	}
+	x, y := r.FastPair(v.out)
+	s := len(v.slots)
+	if s <= 64 {
+		return nthSetBit(v.occ, x), nthSetBit(v.occ, y), true
+	}
+	a, b = -1, -1
+	k := 0
+	for i, id := range v.slots {
+		if id == peer.Nil {
+			continue
+		}
+		if k == x {
+			a = i
+		}
+		if k == y {
+			b = i
+		}
+		k++
+		if a >= 0 && b >= 0 {
+			break
+		}
+	}
+	return a, b, true
+}
+
+// ReplaceRandomOccupied is flipper's pointer flip fused into one view op:
+// detach a uniformly chosen occupied entry z, then store w into a uniformly
+// chosen empty slot of the resulting view (which always has at least the
+// just-cleared slot empty). It returns the detached id and ok = true, or
+// ok = false when the view is empty and nothing was replaced. The slot
+// distribution matches the scalar OccupiedSlots/Clear/RandomEmptySlots
+// sequence; only the RNG draw mapping differs.
+func (v *View) ReplaceRandomOccupied(r *rng.RNG, w peer.ID) (z peer.ID, ok bool) {
+	i, ok := v.RandomOccupiedSlot(r)
+	if !ok {
+		return peer.Nil, false
+	}
+	z = v.slots[i]
+	v.Clear(i)
+	j, _ := v.RandomEmptySlot(r) // cannot fail: slot i is now empty
+	v.Set(j, w)
+	return z, true
+}
+
 // nthSetBit returns the index of the (k+1)-th set bit of m (k counted from
 // 0, bits from the least significant). The caller guarantees m has more than
 // k bits set.

@@ -79,8 +79,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if d < 2 {
 		d = 2
 	}
-	inner, err := runtime.NewCluster(runtime.ClusterConfig{
-		N: cfg.N,
+	sub, err := runtime.New(runtime.Config{
+		Engine: runtime.EngineCluster,
+		N:      cfg.N,
 		NewCore: func() (protocol.StepCore, error) {
 			return sendforget.NewCore(cfg.S, cfg.DL)
 		},
@@ -92,7 +93,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: inner}, nil
+	// The public Cluster exposes Start/Sample, which need the concrete
+	// goroutine-per-node backend; the factory guarantees the kind.
+	return &Cluster{inner: sub.(*runtime.Cluster)}, nil
 }
 
 // Start launches the gossip loops. Stop must be called eventually.

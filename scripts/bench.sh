@@ -9,9 +9,14 @@
 #   BENCHTIME=2s scripts/bench.sh
 #   OUT=/tmp/b.json scripts/bench.sh
 #
-# Schema (schema=1): one entry per sub-benchmark with iterations, ns/op,
-# ns/node-tick (the size-independent figure of merit), B/op, allocs/op, plus
-# the sharded-vs-pernode speedup at n=10k, the acceptance ratio.
+# Schema (schema=2): one entry per sub-benchmark with iterations, ns/op,
+# ns/node-tick (the size-independent figure of merit), B/op, allocs/op. The
+# schema-1 rows (pernode/*, sharded/n=*) keep their names — they are the S&F
+# baseline and stay comparable across commits — and schema 2 adds the
+# per-protocol sharded rows (sharded/<proto>/n=10k|100k for all five batch
+# cores) plus two derived blocks: the sharded-vs-pernode speedup at n=10k and
+# per_protocol_vs_sf_n10k, each protocol's ns/node-tick as a multiple of the
+# S&F row (the <= 3x acceptance ratio).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,13 +55,22 @@ awk \
 END {
 	printf "{\n"
 	printf "  \"benchmark\": \"BenchmarkClusterTick\",\n"
-	printf "  \"schema\": 1,\n"
+	printf "  \"schema\": 2,\n"
 	printf "  \"go\": \"%s\",\n", go_version
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	if (("pernode/n=10k" in tick) && ("sharded/n=10k" in tick) && tick["sharded/n=10k"] + 0 > 0)
 		printf "  \"speedup_sharded_vs_pernode_n10k\": %.2f,\n", \
 			tick["pernode/n=10k"] / tick["sharded/n=10k"]
+	nproto = split("sf sfopt shuffle flipper pushpull", protos, " ")
+	ratios = ""
+	for (j = 1; j <= nproto; j++) {
+		key = "sharded/" protos[j] "/n=10k"
+		if ((key in tick) && ("sharded/n=10k" in tick) && tick["sharded/n=10k"] + 0 > 0)
+			ratios = ratios sprintf("%s\"%s\": %.2f", (ratios == "" ? "" : ", "), protos[j], tick[key] / tick["sharded/n=10k"])
+	}
+	if (ratios != "")
+		printf "  \"per_protocol_vs_sf_n10k\": {%s},\n", ratios
 	printf "  \"results\": [\n"
 	for (i = 1; i <= n; i++)
 		printf "%s%s\n", line[i], (i < n ? "," : "")
