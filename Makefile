@@ -1,7 +1,7 @@
 # The vet target is the one CI runs (.github/workflows/ci.yml); keep the
 # two command lines identical so contributors reproduce CI findings exactly.
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench e2e
 
 build:
 	go build ./...
@@ -15,6 +15,12 @@ race:
 vet:
 	go vet ./...
 	go run ./cmd/sfvet ./...
+
+# Boots a 3-node localhost UDP cluster with the management API enabled and
+# drives it over HTTP: health, views, /metrics, a /join introduction, a live
+# /config reload, a bare-/leave drain, and SIGTERM teardown.
+e2e:
+	scripts/e2e.sh
 
 # Runs the cluster tick benchmark family and refreshes BENCH_cluster.json.
 # FULL=1 make bench includes the 1M-node round.

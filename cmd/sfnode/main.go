@@ -1,8 +1,9 @@
-// Command sfnode runs a single real gossip membership node over UDP — the
-// protocols need nothing but fire-and-forget datagrams (plus, for the
-// request/reply baselines, fire-and-forget replies), the paper's
-// practicality claim. The -protocol flag selects the same protocol set the
-// sfsim simulator offers; all of them run on the same runtime node.
+// Command sfnode runs a gossip membership daemon. In its primary mode it is
+// a single real node over UDP — the protocols need nothing but
+// fire-and-forget datagrams (plus, for the request/reply baselines,
+// fire-and-forget replies), the paper's practicality claim. The -protocol
+// flag selects the same protocol set the sfsim simulator offers; all of them
+// run on the same runtime node.
 //
 // Start a small S&F cluster on localhost:
 //
@@ -10,20 +11,30 @@
 //	sfnode -id 1 -listen 127.0.0.1:7001 -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 -seeds 0,2
 //	sfnode -id 2 -listen 127.0.0.1:7002 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001 -seeds 0,1
 //
-// Each node prints its view once per report interval. Stop with Ctrl-C;
-// leaving needs no protocol action (Section 5).
+// Each node logs its view once per report interval. Stop with Ctrl-C
+// (SIGINT/SIGTERM trigger a graceful teardown); leaving needs no protocol
+// action (Section 5).
+//
+// -mgmt addr serves a management API and Prometheus /metrics next to the
+// gossip loop: GET /health, /view, /config, /metrics; POST /join, /leave,
+// /config (live reload). A bare POST /leave drains the daemon and shuts it
+// down. See README.md ("Management API").
 //
 // Alternatively, -local n runs an in-process n-node cluster on the selected
 // execution backend (-engine seq|cluster|sharded), ticking one synchronous
 // round per -period and reporting overlay health — a one-command demo of any
-// protocol on any substrate, no sockets involved:
+// protocol on any substrate, no sockets involved. The same management API
+// attaches to it, managing the whole cluster instead of one node:
 //
-//	sfnode -local 1000 -engine sharded -protocol shuffle -loss 0.02 -duration 10s
+//	sfnode -local 1000 -engine sharded -protocol shuffle -loss 0.02 -mgmt 127.0.0.1:8700
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -32,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"sendforget/internal/mgmt"
 	"sendforget/internal/peer"
 	"sendforget/internal/protocol"
 	"sendforget/internal/protocol/flipper"
@@ -43,6 +55,10 @@ import (
 	"sendforget/internal/runtime"
 	"sendforget/internal/transport"
 )
+
+// mgmtStarted is notified with the bound management address once the server
+// is listening. Tests hook it to discover a :0-assigned port.
+var mgmtStarted = func(addr string) {}
 
 // newCore builds the step core for the named protocol.
 func newCore(name string, s, dl int) (protocol.StepCore, error) {
@@ -63,11 +79,14 @@ func newCore(name string, s, dl int) (protocol.StepCore, error) {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sfnode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	id := fs.Int("id", 0, "this node's id")
 	listen := fs.String("listen", "127.0.0.1:0", "UDP listen address")
 	peersFlag := fs.String("peers", "", "peer directory: id=host:port,id=host:port,...")
@@ -83,20 +102,30 @@ func run(args []string) int {
 	local := fs.Int("local", 0, "run an in-process cluster of this many nodes instead of a UDP node")
 	engineFlag := fs.String("engine", string(runtime.EngineCluster), "execution backend for -local: seq, cluster, or sharded")
 	lossFlag := fs.Float64("loss", 0, "simulated uniform loss rate for -local mode")
+	mgmtAddr := fs.String("mgmt", "", "serve the management API + /metrics on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	log := slog.New(slog.NewTextHandler(stdout, nil))
 	if *local > 0 {
-		return runLocal(localConfig{
+		return runLocal(ctx, localConfig{
 			n: *local, engine: *engineFlag, proto: *protoName, s: *s, dl: *dl,
 			loss: *lossFlag, seed: *seedFlag,
 			period: *period, report: *report, duration: *duration,
-		})
+			mgmt: *mgmtAddr,
+		}, log, stderr)
+	}
+	// Simulation-only knobs are a config error on a real node, not a
+	// silent no-op: a UDP node's loss comes from the network, and there is
+	// no engine to pick.
+	if err := rejectLocalOnlyFlags(fs); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
-	seeds, err := parseSeeds(*seedsFlag)
+	seeds, err := parseSeeds(*seedsFlag, peer.ID(*id))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	// The endpoint dispatches into the node. Peers may already list this
@@ -110,7 +139,7 @@ func run(args []string) int {
 		}
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	defer ep.Close()
@@ -119,27 +148,27 @@ func run(args []string) int {
 		adv = ep.Addr().String()
 	}
 	if err := ep.EnableAddressLearning(peer.ID(*id), adv); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if err := addPeers(ep, *peersFlag); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	core, err := newCore(*protoName, *s, *dl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	// A production node wants unpredictable partner choices per process;
 	// a fixed -seed reproduces a run exactly (pair it with -period for a
-	// deterministic single-node trace). Either way the seed is printed so
+	// deterministic single-node trace). Either way the seed is logged so
 	// any run can be replayed.
 	seed := *seedFlag
 	if seed == 0 {
-		//lint:allow detrand production nodes want fresh entropy; the seed is printed for replay
+		//lint:allow detrand production nodes want fresh entropy; the seed is logged for replay
 		if seed, err = rng.AutoSeed(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 	}
@@ -147,139 +176,123 @@ func run(args []string) int {
 		ID: peer.ID(*id), Core: core, Period: *period, Seed: seed,
 	}, seeds, ep)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	node.Store(n)
-	fmt.Printf("node n%d [%s] listening on %s (s=%d dL=%d period=%s seed=%d)\n", *id, core.Name(), ep.Addr(), *s, *dl, *period, seed)
+	log.Info("sfnode: listening",
+		"id", *id, "protocol", core.Name(), "addr", ep.Addr().String(),
+		"s", *s, "dl", *dl, "period", *period, "seed", seed)
 	n.Start()
 	defer n.Stop()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var srv *mgmt.Server
+	var shutdownReq <-chan struct{} = neverClosed
+	if *mgmtAddr != "" {
+		backend, err := mgmt.NewUDPNode(mgmt.UDPNodeOptions{
+			Node: n, Endpoint: ep,
+			Protocol: *protoName, S: *s, DL: *dl, Seed: seed,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		srv, err = mgmt.New(mgmt.Options{Addr: *mgmtAddr, Backend: backend, Log: log})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer stopMgmt(srv, log)
+		shutdownReq = srv.ShutdownRequested()
+		mgmtStarted(srv.Addr())
+	}
+
 	ticker := time.NewTicker(*report)
 	defer ticker.Stop()
 	var deadline <-chan time.Time
 	if *duration > 0 {
 		deadline = time.After(*duration)
 	}
+	// All exits below share the deferred teardown: stop the gossip loop,
+	// shut the management server down, close the endpoint.
 	for {
 		select {
 		case <-ticker.C:
 			c := n.Counters()
-			fmt.Printf("view=%s sends=%d recvs=%d replies=%d dups=%d selfloops=%d peers=%d(+%d learned)\n",
-				n.ViewSnapshot(), c.Sends, c.Receives, c.Replies, c.Duplications, c.SelfLoops,
-				ep.KnownPeers(), ep.LearnedPeers())
-		case <-sig:
-			fmt.Println("leaving (no protocol action needed)")
+			log.Info("sfnode: view report",
+				"view", n.ViewSnapshot().String(),
+				"sends", c.Sends, "recvs", c.Receives, "replies", c.Replies,
+				"dups", c.Duplications, "selfloops", c.SelfLoops,
+				"peers", ep.KnownPeers(), "learned", ep.LearnedPeers())
+		case <-ctx.Done():
+			log.Info("sfnode: leaving on signal (no protocol action needed)")
+			return 0
+		case <-shutdownReq:
+			log.Info("sfnode: leaving via management API (no protocol action needed)")
 			return 0
 		case <-deadline:
+			log.Info("sfnode: duration elapsed, leaving")
 			return 0
 		}
 	}
 }
 
-// localConfig parameterizes the in-process -local mode.
-type localConfig struct {
-	n             int
-	engine, proto string
-	s, dl         int
-	loss          float64
-	seed          int64
-	period        time.Duration
-	report        time.Duration
-	duration      time.Duration
+// neverClosed stands in for ShutdownRequested when -mgmt is disabled.
+var neverClosed = make(chan struct{})
+
+// stopMgmt gives in-flight management requests a short grace period.
+func stopMgmt(srv *mgmt.Server, log *slog.Logger) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Error("sfnode: mgmt shutdown", "err", err)
+	}
 }
 
-// runLocal drives an in-process cluster through the Substrate interface: the
-// backend choice is construction-only (runtime.New); everything after it —
-// ticking rounds, snapshots, traffic — is substrate-neutral.
-func runLocal(cfg localConfig) int {
-	kind, err := runtime.ParseEngine(cfg.engine)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
-	seed := cfg.seed
-	if seed == 0 {
-		//lint:allow detrand demo runs want fresh entropy; the seed is printed for replay
-		if seed, err = rng.AutoSeed(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+// rejectLocalOnlyFlags errors when a -local-only knob was set explicitly
+// without -local.
+func rejectLocalOnlyFlags(fs *flag.FlagSet) error {
+	var bad []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "engine", "loss":
+			bad = append(bad, "-"+f.Name)
 		}
-	}
-	sub, err := runtime.New(runtime.Config{
-		Engine: kind,
-		N:      cfg.n,
-		NewCore: func() (protocol.StepCore, error) {
-			return newCore(cfg.proto, cfg.s, cfg.dl)
-		},
-		Loss:   cfg.loss,
-		Seed:   seed,
-		Period: cfg.period,
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+	if len(bad) > 0 {
+		return fmt.Errorf("sfnode: %s only apply to -local mode (a UDP node's loss and engine come from the real network)", strings.Join(bad, ", "))
 	}
-	defer sub.Close()
-	fmt.Printf("local %s cluster [%s] n=%d (s=%d dL=%d loss=%g period=%s seed=%d)\n",
-		kind, cfg.proto, cfg.n, cfg.s, cfg.dl, cfg.loss, cfg.period, seed)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(cfg.period)
-	defer tick.Stop()
-	rep := time.NewTicker(cfg.report)
-	defer rep.Stop()
-	var deadline <-chan time.Time
-	if cfg.duration > 0 {
-		deadline = time.After(cfg.duration)
-	}
-	rounds := 0
-	status := func() {
-		g := sub.Snapshot()
-		tr := sub.Traffic()
-		edges := 0.0
-		if g.N() > 0 {
-			edges = float64(g.NumEdges()) / float64(g.N())
-		}
-		fmt.Printf("round=%d components=%d edges/node=%.2f sends=%d losses=%d delivered=%d pending=%d\n",
-			rounds, g.ComponentCount(), edges, tr.Sends, tr.Losses, tr.Deliveries, sub.Pending())
-	}
-	for {
-		select {
-		case <-tick.C:
-			sub.TickRound()
-			rounds++
-		case <-rep.C:
-			status()
-		case <-sig:
-			fmt.Println("leaving (no protocol action needed)")
-			return 0
-		case <-deadline:
-			sub.DrainDelayed()
-			status()
-			if err := sub.CheckInvariants(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
-			}
-			return 0
-		}
-	}
+	return nil
 }
 
-func parseSeeds(s string) ([]peer.ID, error) {
+// parseSeeds parses the -seeds list for node self. Duplicate ids and self
+// itself are configuration errors: a seed view with duplicates skews partner
+// choice toward one peer, and a self-seed starts the node with the self-loop
+// degeneracy the protocols work to repair.
+func parseSeeds(s string, self peer.ID) ([]peer.ID, error) {
 	if s == "" {
 		return nil, fmt.Errorf("sfnode: -seeds is required")
 	}
 	var out []peer.ID
+	seen := make(map[peer.ID]bool)
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("sfnode: bad seed %q: %w", part, err)
 		}
-		out = append(out, peer.ID(v))
+		id := peer.ID(v)
+		if id == self {
+			return nil, fmt.Errorf("sfnode: seed %d is this node's own -id (a node cannot seed its view with itself)", v)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("sfnode: duplicate seed %d (each seed id may appear once)", v)
+		}
+		seen[id] = true
+		out = append(out, id)
 	}
 	return out, nil
 }

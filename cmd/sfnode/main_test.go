@@ -1,6 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -9,18 +17,24 @@ import (
 )
 
 func TestParseSeeds(t *testing.T) {
-	seeds, err := parseSeeds("1, 2,3")
+	seeds, err := parseSeeds("1, 2,3", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(seeds) != 3 || seeds[0] != 1 || seeds[2] != 3 {
 		t.Errorf("parseSeeds = %v", seeds)
 	}
-	if _, err := parseSeeds(""); err == nil {
+	if _, err := parseSeeds("", 0); err == nil {
 		t.Error("accepted empty seeds")
 	}
-	if _, err := parseSeeds("1,x"); err == nil {
+	if _, err := parseSeeds("1,x", 0); err == nil {
 		t.Error("accepted non-numeric seed")
+	}
+	if _, err := parseSeeds("1,2,1", 0); err == nil {
+		t.Error("accepted duplicate seed")
+	}
+	if _, err := parseSeeds("1,2", 2); err == nil {
+		t.Error("accepted the node's own id as a seed")
 	}
 }
 
@@ -47,43 +61,71 @@ func TestAddPeers(t *testing.T) {
 	}
 }
 
+// runInTest invokes run with a background context and discarded output,
+// asserting it terminates.
+func runInTest(t *testing.T, ctx context.Context, args []string) int {
+	t.Helper()
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, io.Discard, io.Discard) }()
+	select {
+	case code := <-done:
+		return code
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not terminate")
+		return -1
+	}
+}
+
 func TestRunForDuration(t *testing.T) {
-	args := []string{
+	code := runInTest(t, context.Background(), []string{
 		"-id", "0",
 		"-listen", "127.0.0.1:0",
 		"-peers", "1=127.0.0.1:19999",
-		"-seeds", "1,1",
+		"-seeds", "1,2",
 		"-period", "5ms",
 		"-report", "20ms",
 		"-duration", "80ms",
-	}
-	done := make(chan int, 1)
-	go func() { done <- run(args) }()
-	select {
-	case code := <-done:
-		if code != 0 {
-			t.Errorf("run exit = %d", code)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("run did not terminate")
+	})
+	if code != 0 {
+		t.Errorf("run exit = %d", code)
 	}
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if code := run([]string{"-bogus"}); code != 2 {
-		t.Errorf("bad flag exit = %d, want 2", code)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-bogus"}},
+		{"missing seeds", []string{"-listen", "127.0.0.1:0"}},
+		{"missing peers", []string{"-listen", "127.0.0.1:0", "-seeds", "1,2"}},
+		{"odd s", []string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-s", "7"}},
+		{"unknown protocol", []string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-protocol", "nosuch"}},
+		{"duplicate seeds", []string{"-listen", "127.0.0.1:0", "-seeds", "1,1", "-peers", "1=127.0.0.1:19998"}},
+		{"self seed", []string{"-id", "2", "-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998"}},
+		{"loss without local", []string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-loss", "0.1"}},
+		{"engine without local", []string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-engine", "sharded"}},
+		{"bad engine with local", []string{"-local", "10", "-engine", "nosuch"}},
 	}
-	if code := run([]string{"-listen", "127.0.0.1:0"}); code != 2 {
-		t.Errorf("missing seeds exit = %d, want 2", code)
+	for _, tc := range cases {
+		if code := runInTest(t, context.Background(), tc.args); code != 2 {
+			t.Errorf("%s: exit = %d, want 2", tc.name, code)
+		}
 	}
-	if code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "1,2"}); code != 2 {
-		t.Errorf("missing peers exit = %d, want 2", code)
-	}
-	if code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-s", "7"}); code != 2 {
-		t.Errorf("odd s exit = %d, want 2", code)
-	}
-	if code := run([]string{"-listen", "127.0.0.1:0", "-seeds", "1,2", "-peers", "1=127.0.0.1:19998", "-protocol", "nosuch"}); code != 2 {
-		t.Errorf("unknown protocol exit = %d, want 2", code)
+}
+
+// TestRunLocalOnlyFlagDefaults guards the flag matrix from the other side:
+// the -engine and -loss *defaults* must not trip the rejection when the
+// flags are not set explicitly.
+func TestRunLocalOnlyFlagDefaults(t *testing.T) {
+	code := runInTest(t, context.Background(), []string{
+		"-listen", "127.0.0.1:0",
+		"-peers", "1=127.0.0.1:19996",
+		"-seeds", "1,2",
+		"-period", "5ms", "-report", "50ms", "-duration", "30ms",
+	})
+	if code != 0 {
+		t.Errorf("defaults-only run exit = %d, want 0", code)
 	}
 }
 
@@ -105,24 +147,258 @@ func TestNewCoreAllProtocols(t *testing.T) {
 
 func TestRunForDurationShuffle(t *testing.T) {
 	// The runtime node runs the request/reply baselines too.
-	args := []string{
+	code := runInTest(t, context.Background(), []string{
 		"-id", "0",
 		"-protocol", "shuffle",
 		"-listen", "127.0.0.1:0",
 		"-peers", "1=127.0.0.1:19997",
-		"-seeds", "1,1",
+		"-seeds", "1,2",
 		"-period", "5ms",
 		"-report", "20ms",
 		"-duration", "80ms",
+	})
+	if code != 0 {
+		t.Errorf("run exit = %d", code)
 	}
+}
+
+// hookMgmtAddr reroutes the mgmtStarted hook to a channel for the duration
+// of one test. Tests using it must not run in parallel.
+func hookMgmtAddr(t *testing.T) <-chan string {
+	t.Helper()
+	ch := make(chan string, 1)
+	prev := mgmtStarted
+	mgmtStarted = func(addr string) { ch <- addr }
+	t.Cleanup(func() { mgmtStarted = prev })
+	return ch
+}
+
+// waitMgmtAddr receives the bound management address or fails the test.
+func waitMgmtAddr(t *testing.T, ch <-chan string) string {
+	t.Helper()
+	select {
+	case addr := <-ch:
+		return addr
+	case <-time.After(5 * time.Second):
+		t.Fatal("management server did not start")
+		return ""
+	}
+}
+
+// TestRunGracefulShutdownUDP boots a UDP node with the management API, hits
+// /health and /metrics, then cancels the signal context and asserts a clean
+// exit — the graceful-shutdown path end to end (run under -race in CI).
+func TestRunGracefulShutdownUDP(t *testing.T) {
+	addrCh := hookMgmtAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	var mu sync.Mutex
+	w := lockedWriter{mu: &mu, w: &out}
 	done := make(chan int, 1)
-	go func() { done <- run(args) }()
+	go func() {
+		done <- run(ctx, []string{
+			"-id", "0",
+			"-listen", "127.0.0.1:0",
+			"-peers", "1=127.0.0.1:19995",
+			"-seeds", "1,2",
+			"-period", "5ms",
+			"-report", "1h",
+			"-mgmt", "127.0.0.1:0",
+		}, w, w)
+	}()
+	base := "http://" + waitMgmtAddr(t, addrCh)
+
+	resp, err := http.Get(base + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Mode   string `json:"mode"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Mode != "udp" {
+		t.Errorf("health = %+v", health)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{"sendforget_traffic_sends_total", "sendforget_node_ticks_total", "sendforget_up 1"} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+
+	cancel()
 	select {
 	case code := <-done:
 		if code != 0 {
-			t.Errorf("run exit = %d", code)
+			t.Errorf("run exit = %d, want 0", code)
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("run did not terminate")
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down after signal")
+	}
+	// The mgmt listener is down once run returns.
+	if _, err := http.Get(base + "/health"); err == nil {
+		t.Error("management server still serving after shutdown")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(out.String(), "leaving on signal") {
+		t.Error("shutdown not logged")
+	}
+}
+
+// TestRunLocalSignalPathDrains is the regression test for the shutdown bug:
+// the signal exit used to skip DrainDelayed + CheckInvariants. Both exits now
+// share one shutdown routine, so a signalled run must still log the final
+// drained status (pending=0) before returning 0.
+func TestRunLocalSignalPathDrains(t *testing.T) {
+	addrCh := hookMgmtAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	var mu sync.Mutex
+	w := lockedWriter{mu: &mu, w: &out}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-local", "30",
+			"-loss", "0.3",
+			"-period", "2ms",
+			"-report", "1h",
+			"-seed", "7",
+			"-mgmt", "127.0.0.1:0",
+		}, w, w)
+	}()
+	base := "http://" + waitMgmtAddr(t, addrCh)
+
+	// Let some rounds happen (0.3 loss + delay queue leaves work in flight),
+	// then deliver the "signal".
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Get(base + "/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Rounds int64 `json:"rounds"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if health.Rounds >= 10 {
+			break
+		}
+		if attempt > 1000 {
+			t.Fatal("cluster never reached 10 rounds")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("run exit = %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runLocal did not shut down after signal")
+	}
+	mu.Lock()
+	logs := out.String()
+	mu.Unlock()
+	if !strings.Contains(logs, "reason=\"signal") {
+		t.Errorf("signal shutdown not logged:\n%s", logs)
+	}
+	// The drained final status is the proof the signal path ran the shared
+	// shutdown routine: pending must have been emptied and reported.
+	last := logs[strings.LastIndex(logs, "overlay status"):]
+	if !strings.Contains(last, "pending=0") {
+		t.Errorf("final status not drained:\n%s", last)
+	}
+}
+
+// TestRunLocalLeaveViaAPI exercises the other daemon exit: a bare POST
+// /leave drains the cluster and shuts the whole process down with code 0.
+func TestRunLocalLeaveViaAPI(t *testing.T) {
+	addrCh := hookMgmtAddr(t)
+	var out bytes.Buffer
+	var mu sync.Mutex
+	w := lockedWriter{mu: &mu, w: &out}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(context.Background(), []string{
+			"-local", "20",
+			"-period", "2ms",
+			"-report", "1h",
+			"-seed", "11",
+			"-mgmt", "127.0.0.1:0",
+		}, w, w)
+	}()
+	base := "http://" + waitMgmtAddr(t, addrCh)
+
+	resp, err := http.Post(base+"/leave", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare /leave status = %d", resp.StatusCode)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("run exit = %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after bare /leave")
+	}
+}
+
+// lockedWriter serializes writes between run's logger and test assertions.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestRejectLocalOnlyFlags covers the -local flag matrix at the unit level.
+func TestRejectLocalOnlyFlags(t *testing.T) {
+	matrix := []struct {
+		args    []string
+		wantErr bool
+	}{
+		{[]string{}, false},
+		{[]string{"-loss", "0.5"}, true},
+		{[]string{"-engine", "seq"}, true},
+		{[]string{"-loss", "0.5", "-engine", "seq"}, true},
+		{[]string{"-s", "10"}, false},
+	}
+	for _, tc := range matrix {
+		fs := flag.NewFlagSet("sfnode-test", flag.ContinueOnError)
+		fs.Float64("loss", 0, "")
+		fs.String("engine", "cluster", "")
+		fs.Int("s", 8, "")
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		err := rejectLocalOnlyFlags(fs)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("rejectLocalOnlyFlags(%v) err = %v, wantErr = %v", tc.args, err, tc.wantErr)
+		}
 	}
 }

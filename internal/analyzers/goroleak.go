@@ -49,6 +49,7 @@ var Goroleak = &framework.Analyzer{
 func goroleakScoped(path string) bool {
 	return fixturePackage(path) ||
 		strings.HasPrefix(path, "sendforget/internal/runtime") ||
+		strings.HasPrefix(path, "sendforget/internal/mgmt") ||
 		strings.HasPrefix(path, "sendforget/cmd/")
 }
 

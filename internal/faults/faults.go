@@ -145,6 +145,31 @@ func (c *Conditions) Base() loss.Model {
 	return c.base
 }
 
+// SetBase swaps the base loss model live — the management API's loss-reload
+// path. Per-link overrides, partitions, delay, and all counters are
+// untouched; only the base model changes, taking effect on the next
+// decision. Swapping a stateful model resets its state by construction (the
+// caller built a fresh model), which is the intended semantics of a reload.
+func (c *Conditions) SetBase(m loss.Model) error {
+	if m == nil {
+		return fmt.Errorf("faults: nil base loss model")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.base = m
+	return nil
+}
+
+// SetRate is SetBase with a fresh uniform i.i.d. model at the given rate —
+// the paper's single loss knob, reloadable at runtime.
+func (c *Conditions) SetRate(rate float64) error {
+	m, err := loss.NewUniform(rate)
+	if err != nil {
+		return err
+	}
+	return c.SetBase(m)
+}
+
 // Rate returns the base model's long-run loss rate (link overrides and
 // partitions add to the realized rate; experiments read the realized rate
 // from the traffic counters instead).

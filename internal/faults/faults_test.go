@@ -222,3 +222,47 @@ func TestConcurrentDecideAndRepartition(t *testing.T) {
 		t.Errorf("Decisions = %d, want 8000", got)
 	}
 }
+
+func TestSetRateLiveReload(t *testing.T) {
+	c, err := FromRate(0) // never drop
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	if v := c.Decide(0, 1, r); v.Drop != DropNone {
+		t.Errorf("verdict before reload = %+v, want delivery", v)
+	}
+	// Reload to certain loss: the next decision must drop, and the
+	// counters accumulated so far must survive the swap.
+	if err := c.SetRate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rate(); got != 1 {
+		t.Errorf("Rate after reload = %v, want 1", got)
+	}
+	if v := c.Decide(0, 1, r); v.Drop != DropModel {
+		t.Errorf("verdict after reload = %+v, want model drop", v)
+	}
+	got := c.Counters()
+	if got.Decisions != 2 || got.ModelDrops != 1 {
+		t.Errorf("counters after reload = %+v", got)
+	}
+	if err := c.SetRate(1.5); err == nil {
+		t.Error("accepted rate > 1")
+	}
+	if err := c.SetBase(nil); err == nil {
+		t.Error("accepted nil base model")
+	}
+	// Link overrides survive a base reload.
+	m, err := loss.NewUniform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLinkLoss(0, 1, m)
+	if err := c.SetRate(1); err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Decide(0, 1, r); v.Drop != DropNone {
+		t.Errorf("override link after reload = %+v, want delivery", v)
+	}
+}

@@ -1,0 +1,58 @@
+// Prometheus text-format exposition for the substrate-neutral ledgers.
+// The management daemon's /metrics endpoint writes through these helpers so
+// every counter the simulators report — Traffic, node protocol events,
+// fault-layer decisions — is scrapeable from a live node, with names fixed
+// here in one place (README "Management API" documents them).
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// PromWriter emits metrics in the Prometheus text exposition format
+// (version 0.0.4): a HELP line, a TYPE line, and the sample per metric.
+// Errors are sticky — callers write the whole family and check Err once.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w for exposition writing.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Counter emits a monotonically increasing sample. By convention the name
+// carries the _total suffix.
+func (p *PromWriter) Counter(name, help string, value int) {
+	p.sample(name, "counter", help, fmt.Sprintf("%d", value))
+}
+
+// Gauge emits a point-in-time sample.
+func (p *PromWriter) Gauge(name, help string, value float64) {
+	p.sample(name, "gauge", help, fmt.Sprintf("%g", value))
+}
+
+func (p *PromWriter) sample(name, typ, help, value string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, value)
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+// WriteProm emits the traffic ledger as Prometheus counters under the given
+// namespace (e.g. "sendforget" yields sendforget_traffic_sends_total ...).
+// The emission order is fixed and the values are exactly the struct fields,
+// so a scrape taken while the substrate is quiescent satisfies the same
+// conservation identity Conserved checks.
+func (t Traffic) WriteProm(p *PromWriter, ns string) {
+	p.Counter(ns+"_traffic_sends_total", "Attempted transmissions, before loss, routing, or marshalling.", t.Sends)
+	p.Counter(ns+"_traffic_losses_total", "Messages dropped by the fault layer.", t.Losses)
+	p.Counter(ns+"_traffic_deliveries_total", "Messages handed to a live node's receive step.", t.Deliveries)
+	p.Counter(ns+"_traffic_dead_letters_total", "Messages addressed to departed or unroutable nodes.", t.DeadLetters)
+	p.Counter(ns+"_traffic_link_losses_total", "Losses attributed to per-link override models.", t.LinkLosses)
+	p.Counter(ns+"_traffic_partition_drops_total", "Losses attributed to an active partition.", t.PartitionDrops)
+	p.Counter(ns+"_traffic_delayed_total", "Messages routed through the delay queue.", t.Delayed)
+}

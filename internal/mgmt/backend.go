@@ -1,0 +1,124 @@
+// Package mgmt is the control plane that promotes sfnode from a CLI into a
+// production daemon: an HTTP/JSON management API (/join, /leave, /view,
+// /health, /config) plus a Prometheus text /metrics exporter, served next to
+// the gossip loop. The same API shape works for a single real UDP node and
+// for an in-process -local cluster — the Backend interface is the seam — so
+// operators and tests drive both through identical requests.
+//
+// The gossip protocols themselves need nothing but fire-and-forget
+// datagrams (the paper's practicality claim); everything in this package is
+// observation and lifecycle around them: the protocol layer has no
+// dependency on mgmt and keeps working with the server switched off.
+package mgmt
+
+import (
+	"fmt"
+	"time"
+
+	"sendforget/internal/faults"
+	"sendforget/internal/metrics"
+	"sendforget/internal/runtime"
+)
+
+// Info identifies what the daemon is running, for /health and /config.
+type Info struct {
+	// Mode is "udp" (one real node) or "local" (in-process cluster).
+	Mode string `json:"mode"`
+	// Protocol is the step-core name (sf, sfopt, shuffle, flipper, pushpull).
+	Protocol string `json:"protocol"`
+	// Engine is the -local execution backend (seq, cluster, sharded);
+	// empty in UDP mode.
+	Engine string `json:"engine,omitempty"`
+	// N is the node universe size (1 in UDP mode).
+	N int `json:"n"`
+}
+
+// NodeView is one node's current view: the occupied entries, in slot order.
+type NodeView struct {
+	ID   int   `json:"id"`
+	View []int `json:"view"`
+}
+
+// JoinRequest admits a member. In local mode ID+Seeds activate a node slot
+// (the paper's join rule: a joining node must know at least max(2, dL) live
+// ids). In UDP mode ID+Addr add a peer to the transport directory — the
+// bootstrap introduction; the gossip itself then spreads the address.
+type JoinRequest struct {
+	ID    *int   `json:"id"`
+	Seeds []int  `json:"seeds,omitempty"`
+	Addr  string `json:"addr,omitempty"`
+}
+
+// LeaveRequest removes a member. With an ID (local mode) that node departs
+// — no protocol action, exactly the paper's leave semantics. Without an ID
+// the daemon itself leaves: the backend drains in-flight messages, checks
+// invariants, and the server signals the run loop to shut down.
+type LeaveRequest struct {
+	ID *int `json:"id,omitempty"`
+}
+
+// Config is the live-reloadable slice of the daemon's configuration, plus
+// the read-only identity fields an operator wants alongside it.
+type Config struct {
+	Info
+	S      int     `json:"s"`
+	DL     int     `json:"dl"`
+	Seed   int64   `json:"seed"`
+	Period string  `json:"period"`
+	Loss   float64 `json:"loss"`
+}
+
+// ConfigUpdate is a partial live reconfiguration: nil fields are untouched.
+// Period retunes the gossip/tick cadence on any backend; Loss swaps the
+// fault layer's base model (local mode only — a real network's loss is not
+// ours to set).
+type ConfigUpdate struct {
+	Period *string  `json:"period,omitempty"`
+	Loss   *float64 `json:"loss,omitempty"`
+}
+
+// Backend is the seam between the HTTP layer and the thing actually
+// gossiping. Implementations must be safe for concurrent use: handlers run
+// on server goroutines while the daemon's run loop ticks.
+type Backend interface {
+	// Info identifies the running configuration.
+	Info() Info
+	// Rounds returns the logical-time progress counter (ticked rounds in
+	// local mode, initiated actions in UDP mode).
+	Rounds() int64
+	// Views snapshots the live views, ordered by node id.
+	Views() []NodeView
+	// Counters sums the node-level protocol ledger.
+	Counters() runtime.NodeCounters
+	// Traffic reports the transport ledger.
+	Traffic() metrics.Traffic
+	// FaultCounters reports the fault-layer ledger; ok is false when no
+	// fault layer exists (UDP mode — the real network injects its own).
+	FaultCounters() (c faults.Counters, ok bool)
+	// Pending returns the number of messages parked in the delay queue.
+	Pending() int
+	// Join admits a member per JoinRequest.
+	Join(req JoinRequest) error
+	// Leave removes member id (local mode).
+	Leave(id int) error
+	// Drain delivers everything in flight and checks the per-view
+	// invariants — the unified shutdown path runs it, and /leave without
+	// an id runs it before requesting daemon shutdown.
+	Drain() error
+	// Config returns the current configuration.
+	Config() Config
+	// Reconfigure applies a live partial update.
+	Reconfigure(upd ConfigUpdate) error
+}
+
+// parsePeriod validates a ConfigUpdate period string.
+func parsePeriod(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("mgmt: bad period %q: %w", s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("mgmt: period must be positive, got %v", d)
+	}
+	return d, nil
+}

@@ -1,0 +1,137 @@
+package mgmt
+
+import (
+	"fmt"
+
+	"sendforget/internal/faults"
+	"sendforget/internal/metrics"
+	"sendforget/internal/peer"
+	"sendforget/internal/runtime"
+	"sendforget/internal/transport"
+)
+
+// UDPNodeOptions parameterizes a UDPNode backend over one real node.
+type UDPNodeOptions struct {
+	// Node is the running gossip node; Endpoint its UDP transport.
+	Node     *runtime.Node
+	Endpoint *transport.Endpoint
+	// Protocol, S, DL, Seed describe the running config.
+	Protocol string
+	S, DL    int
+	Seed     int64
+}
+
+// UDPNode adapts a single real node to the management Backend. Node and
+// Endpoint are internally synchronized, so the adapter needs no lock of its
+// own.
+type UDPNode struct {
+	opts UDPNodeOptions
+}
+
+var _ Backend = (*UDPNode)(nil)
+
+// NewUDPNode builds the backend.
+func NewUDPNode(opts UDPNodeOptions) (*UDPNode, error) {
+	if opts.Node == nil || opts.Endpoint == nil {
+		return nil, fmt.Errorf("mgmt: nil node or endpoint")
+	}
+	return &UDPNode{opts: opts}, nil
+}
+
+// Info identifies the running configuration.
+func (u *UDPNode) Info() Info {
+	return Info{Mode: "udp", Protocol: u.opts.Protocol, N: 1}
+}
+
+// Rounds returns the node's initiated-action count — its logical clock.
+func (u *UDPNode) Rounds() int64 {
+	return int64(u.opts.Node.Counters().Ticks)
+}
+
+// Views returns the node's single view.
+func (u *UDPNode) Views() []NodeView {
+	ids := u.opts.Node.ViewSnapshot().IDs()
+	entries := make([]int, len(ids))
+	for i, e := range ids {
+		entries[i] = int(e)
+	}
+	return []NodeView{{ID: int(u.opts.Node.ID()), View: entries}}
+}
+
+// Counters returns the node-level protocol ledger.
+func (u *UDPNode) Counters() runtime.NodeCounters {
+	return u.opts.Node.Counters()
+}
+
+// Traffic maps the endpoint counters into the substrate-neutral shape. A
+// real network reports no Losses: a datagram the network dropped is simply
+// one this node never hears about, so from one endpoint's vantage the
+// ledger covers sends, local deliveries, and unroutable destinations.
+func (u *UDPNode) Traffic() metrics.Traffic {
+	c := u.opts.Endpoint.Counters()
+	return metrics.Traffic{
+		Sends:       c.Sent,
+		Losses:      c.Lost,
+		Deliveries:  c.Delivered,
+		DeadLetters: c.NoRoute,
+	}
+}
+
+// FaultCounters reports no fault layer: the real network injects its own
+// loss.
+func (u *UDPNode) FaultCounters() (faults.Counters, bool) {
+	return faults.Counters{}, false
+}
+
+// Pending is always zero: UDP has no delay queue on the sender.
+func (u *UDPNode) Pending() int { return 0 }
+
+// Join adds a peer to the transport directory — the bootstrap introduction;
+// address learning spreads the rest.
+func (u *UDPNode) Join(req JoinRequest) error {
+	if req.ID == nil || req.Addr == "" {
+		return fmt.Errorf("mgmt: udp join needs an id and an addr (id=host:port directory entry)")
+	}
+	if *req.ID == int(u.opts.Node.ID()) {
+		return fmt.Errorf("mgmt: node %d cannot add itself as a peer", *req.ID)
+	}
+	return u.opts.Endpoint.AddPeer(peer.ID(*req.ID), req.Addr)
+}
+
+// Leave rejects member removal: a UDP node has no authority over its peers
+// — a leaver just stops participating. Draining this node is POST /leave
+// with no id.
+func (u *UDPNode) Leave(id int) error {
+	return fmt.Errorf("mgmt: a udp node cannot remove peer %d: leavers just stop participating (drain this node with a bare /leave)", id)
+}
+
+// Drain checks the node's view invariant; there is no local delay queue to
+// empty.
+func (u *UDPNode) Drain() error {
+	return u.opts.Node.CheckInvariants()
+}
+
+// Config returns the current configuration.
+func (u *UDPNode) Config() Config {
+	return Config{
+		Info: u.Info(),
+		S:    u.opts.S, DL: u.opts.DL, Seed: u.opts.Seed,
+		Period: u.opts.Node.Period().String(),
+	}
+}
+
+// Reconfigure retunes the gossip period live. Loss is rejected: the real
+// network's loss rate is measured, not configured.
+func (u *UDPNode) Reconfigure(upd ConfigUpdate) error {
+	if upd.Loss != nil {
+		return fmt.Errorf("mgmt: loss model applies to -local mode only (a real network's loss is not configurable)")
+	}
+	if upd.Period == nil {
+		return nil
+	}
+	d, err := parsePeriod(*upd.Period)
+	if err != nil {
+		return err
+	}
+	return u.opts.Node.SetPeriod(d)
+}

@@ -14,6 +14,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sendforget/internal/peer"
@@ -80,6 +81,12 @@ type Node struct {
 	stopOnce  sync.Once
 	stop      chan struct{}
 	wg        sync.WaitGroup
+
+	// periodNS is the current gossip period in nanoseconds, readable
+	// while the loop runs; reset carries live period changes to the
+	// gossip loop (capacity 1, latest value wins).
+	periodNS atomic.Int64
+	reset    chan time.Duration
 }
 
 // NewNode builds a node whose initial view is seeded by the core ("a joining
@@ -104,14 +111,17 @@ func NewNode(cfg NodeConfig, seeds []peer.ID, out Sender) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runtime: node %v: %w", cfg.ID, err)
 	}
-	return &Node{
-		cfg:  cfg,
-		core: cfg.Core,
-		out:  out,
-		lv:   lv,
-		r:    rng.New(cfg.Seed),
-		stop: make(chan struct{}),
-	}, nil
+	n := &Node{
+		cfg:   cfg,
+		core:  cfg.Core,
+		out:   out,
+		lv:    lv,
+		r:     rng.New(cfg.Seed),
+		stop:  make(chan struct{}),
+		reset: make(chan time.Duration, 1),
+	}
+	n.periodNS.Store(int64(cfg.Period))
+	return n, nil
 }
 
 // ID returns the node's identity.
@@ -177,18 +187,46 @@ func (n *Node) Start() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			ticker := time.NewTicker(n.cfg.Period)
+			ticker := time.NewTicker(time.Duration(n.periodNS.Load()))
 			defer ticker.Stop()
 			for {
 				select {
 				case <-n.stop:
 					return
+				case d := <-n.reset:
+					ticker.Reset(d)
 				case <-ticker.C:
 					n.Tick()
 				}
 			}
 		}()
 	})
+}
+
+// Period returns the current gossip period.
+func (n *Node) Period() time.Duration { return time.Duration(n.periodNS.Load()) }
+
+// SetPeriod changes the gossip period live — the management API's config
+// reload path. The running loop picks the new period up on its next select;
+// if the loop has not started yet, Start uses the latest value. Latest call
+// wins when several race.
+func (n *Node) SetPeriod(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("runtime: node period must be positive, got %v", d)
+	}
+	n.periodNS.Store(int64(d))
+	for {
+		select {
+		case n.reset <- d:
+			return nil
+		default:
+			// Displace a stale pending reset so the newest value lands.
+			select {
+			case <-n.reset:
+			default:
+			}
+		}
+	}
 }
 
 // Stop terminates the gossip loop and waits for it. Leaving the system

@@ -648,3 +648,81 @@ func TestClusterDelayedDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNodeSetPeriodLive(t *testing.T) {
+	rec := &recorder{}
+	// Start with a period far beyond the test horizon, then reload to a
+	// fast one: ticks arriving at all proves the running loop picked the
+	// change up.
+	n, err := runtime.NewNode(runtime.NodeConfig{
+		ID: 0, Core: sfCore(t, 8, 2), Period: time.Hour,
+	}, []peer.ID{1, 2}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Period(); got != time.Hour {
+		t.Errorf("Period = %v, want 1h", got)
+	}
+	if err := n.SetPeriod(0); err == nil {
+		t.Error("accepted nonpositive period")
+	}
+	n.Start()
+	defer n.Stop()
+	if err := n.SetPeriod(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Period(); got != time.Millisecond {
+		t.Errorf("Period after reload = %v, want 1ms", got)
+	}
+	deadline := time.After(5 * time.Second)
+	for n.Counters().Ticks == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no tick after period reload")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// A second reload while a reset may still be pending must not block.
+	for i := 0; i < 100; i++ {
+		if err := n.SetPeriod(time.Duration(i+1) * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSubstrateCountersAllEngines(t *testing.T) {
+	for _, kind := range []runtime.EngineKind{runtime.EngineSeq, runtime.EngineCluster, runtime.EngineSharded} {
+		sub, err := runtime.New(runtime.Config{
+			Engine: kind,
+			N:      16,
+			NewCore: func() (protocol.StepCore, error) {
+				return sendforget.NewCore(8, 2)
+			},
+			Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for i := 0; i < 10; i++ {
+			sub.TickRound()
+		}
+		sub.DrainDelayed()
+		c := sub.Counters()
+		if c.Ticks == 0 || c.Sends == 0 {
+			t.Errorf("%s: counters = %+v, want nonzero ticks and sends", kind, c)
+		}
+		if c.Ticks != c.Sends+c.SelfLoops {
+			t.Errorf("%s: ticks %d != sends %d + selfloops %d", kind, c.Ticks, c.Sends, c.SelfLoops)
+		}
+		// S&F is fire-and-forget: the node ledger's send count is the
+		// transport ledger's, and every receive is a delivery.
+		tr := sub.Traffic()
+		if c.Sends != tr.Sends {
+			t.Errorf("%s: node sends %d != traffic sends %d", kind, c.Sends, tr.Sends)
+		}
+		if c.Receives != tr.Deliveries {
+			t.Errorf("%s: node receives %d != deliveries %d", kind, c.Receives, tr.Deliveries)
+		}
+		sub.Close()
+	}
+}

@@ -32,6 +32,12 @@ type coreProto struct {
 	factory protocol.CoreFactory
 	cores   []protocol.StepCore
 	views   []*view.View
+
+	// counters tallies protocol events across all nodes, in the same
+	// shape the concurrent backends report, so the seq substrate exports
+	// the node-level ledger too. Single-threaded like the rest of the
+	// adapter: the engine serializes all calls.
+	counters NodeCounters
 }
 
 var (
@@ -77,18 +83,26 @@ func (p *coreProto) View(u peer.ID) *view.View {
 }
 
 func (p *coreProto) Initiate(u peer.ID, r *rng.RNG) (peer.ID, protocol.Message, bool) {
+	p.counters.Ticks++
 	msgs, ok := p.cores[u].Initiate(p.views[u], u, r)
 	if !ok || len(msgs) == 0 {
+		p.counters.SelfLoops++
 		return peer.Nil, protocol.Message{}, false
+	}
+	p.counters.Sends++
+	if msgs[0].Msg.Dup {
+		p.counters.Duplications++
 	}
 	return msgs[0].To, msgs[0].Msg, true
 }
 
 func (p *coreProto) Deliver(u peer.ID, msg protocol.Message, r *rng.RNG) (protocol.Message, peer.ID, bool) {
+	p.counters.Receives++
 	reply, ok := p.cores[u].Receive(p.views[u], u, msg, r)
 	if !ok {
 		return protocol.Message{}, peer.Nil, false
 	}
+	p.counters.Replies++
 	return reply.Msg, reply.To, true
 }
 
@@ -184,6 +198,11 @@ func (s *seqSubstrate) Snapshot() *graph.Graph { return s.eng.Snapshot() }
 func (s *seqSubstrate) Traffic() metrics.Traffic {
 	return s.eng.Traffic()
 }
+
+// Counters reports the protocol-event ledger in the shape the concurrent
+// backends use (reply sends count under Replies, not Sends, matching
+// Node.HandleMessage).
+func (s *seqSubstrate) Counters() NodeCounters { return s.cp.counters }
 func (s *seqSubstrate) Conditions() *faults.Conditions { return s.eng.Conditions() }
 
 func (s *seqSubstrate) CheckInvariants() error {

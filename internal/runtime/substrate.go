@@ -40,6 +40,11 @@ type Substrate interface {
 	// Traffic reports the transport ledger in the substrate-neutral shape
 	// (see metrics.Traffic for the unified counting semantics).
 	Traffic() metrics.Traffic
+	// Counters sums the per-node protocol counters (ticks, sends,
+	// receives, replies, duplications, self-loops) over all live nodes —
+	// the node-level ledger the management API's /metrics endpoint
+	// exports next to Traffic.
+	Counters() NodeCounters
 	// Conditions returns the fault-injection stack for mid-run
 	// reconfiguration (partitions, link overrides).
 	Conditions() *faults.Conditions

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# e2e.sh — boot a 3-node sfnode cluster on localhost UDP, each node with its
+# management API enabled, drive it over HTTP (health, view, metrics, a
+# late-joiner introduction), then shut every node down gracefully and fail on
+# any nonzero exit. CI runs this as `make e2e`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/sfnode"
+LOGDIR="$(mktemp -d)"
+trap 'status=$?; kill "${PIDS[@]}" 2>/dev/null || true; wait 2>/dev/null || true;
+      if [ $status -ne 0 ]; then echo "--- node logs ---"; cat "$LOGDIR"/node*.log; fi;
+      rm -rf "$(dirname "$BIN")" "$LOGDIR"' EXIT
+
+go build -o "$BIN" ./cmd/sfnode
+
+# Fixed localhost ports so the peer directories can name each other up front.
+UDP=(17800 17801 17802)
+MGMT=(17810 17811 17812)
+PIDS=()
+
+PEERS_ALL="0=127.0.0.1:${UDP[0]},1=127.0.0.1:${UDP[1]},2=127.0.0.1:${UDP[2]}"
+SEEDS=("1,2" "0,2" "0,1")
+
+for i in 0 1 2; do
+  "$BIN" -id "$i" -listen "127.0.0.1:${UDP[$i]}" \
+    -peers "$PEERS_ALL" -seeds "${SEEDS[$i]}" \
+    -period 20ms -report 1h -mgmt "127.0.0.1:${MGMT[$i]}" \
+    >"$LOGDIR/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+curl_retry() { # curl_retry url — poll until the endpoint answers
+  local url=$1 tries=0
+  until curl -fsS --max-time 2 "$url"; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 50 ]; then
+      echo "e2e: $url never came up" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+}
+
+echo "e2e: waiting for management servers"
+for i in 0 1 2; do
+  curl_retry "http://127.0.0.1:${MGMT[$i]}/health" >/dev/null
+done
+
+echo "e2e: letting gossip run"
+sleep 2
+
+echo "e2e: checking health + views + metrics on every node"
+for i in 0 1 2; do
+  health=$(curl -fsS "http://127.0.0.1:${MGMT[$i]}/health")
+  echo "node $i health: $health"
+  grep -q '"status":"ok"' <<<"$health"
+  grep -q '"mode":"udp"' <<<"$health"
+
+  view=$(curl -fsS "http://127.0.0.1:${MGMT[$i]}/view")
+  grep -q '"view":\[' <<<"$view"
+  # After 2s of 20ms-period gossip the view must not be empty.
+  if grep -q '"view":\[\]' <<<"$view"; then
+    echo "e2e: node $i still has an empty view" >&2
+    exit 1
+  fi
+
+  metrics=$(curl -fsS "http://127.0.0.1:${MGMT[$i]}/metrics")
+  grep -q '^sendforget_traffic_sends_total ' <<<"$metrics"
+  grep -q '^sendforget_node_ticks_total ' <<<"$metrics"
+  grep -q '^sendforget_up 1$' <<<"$metrics"
+  sends=$(awk '/^sendforget_traffic_sends_total /{print $2}' <<<"$metrics")
+  if [ "$sends" -le 0 ]; then
+    echo "e2e: node $i never sent (sends=$sends)" >&2
+    exit 1
+  fi
+done
+
+echo "e2e: introducing node 2 to node 0 again via POST /join (idempotent directory add)"
+curl -fsS -X POST -d '{"id":2,"addr":"127.0.0.1:'"${UDP[2]}"'"}' \
+  "http://127.0.0.1:${MGMT[0]}/join" | grep -q '"status":"ok"'
+
+echo "e2e: config reload: retune node 0's gossip period live"
+curl -fsS -X POST -d '{"period":"10ms"}' "http://127.0.0.1:${MGMT[0]}/config" \
+  | grep -q '"period":"10ms"'
+
+echo "e2e: draining node 2 via bare POST /leave (graceful daemon exit)"
+curl -fsS -X POST -d '{}' "http://127.0.0.1:${MGMT[2]}/leave" | grep -q '"status":"draining"'
+for _ in $(seq 50); do
+  kill -0 "${PIDS[2]}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${PIDS[2]}" 2>/dev/null; then
+  echo "e2e: node 2 did not exit after /leave" >&2
+  exit 1
+fi
+wait "${PIDS[2]}"  # propagates a nonzero exit (set -e)
+
+echo "e2e: stopping nodes 0 and 1 with SIGTERM (graceful signal path)"
+kill -TERM "${PIDS[0]}" "${PIDS[1]}"
+wait "${PIDS[0]}"
+wait "${PIDS[1]}"
+PIDS=()
+
+grep -q 'leaving via management API' "$LOGDIR/node2.log"
+grep -q 'leaving on signal' "$LOGDIR/node0.log"
+grep -q 'leaving on signal' "$LOGDIR/node1.log"
+
+echo "e2e: ok"
