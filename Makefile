@@ -14,7 +14,7 @@ race:
 
 vet:
 	go vet ./...
-	go run ./cmd/sfvet ./...
+	go run ./cmd/sfvet -unusedallow ./...
 
 # Boots a 3-node localhost UDP cluster with the management API enabled and
 # drives it over HTTP: health, views, /metrics, a /join introduction, a live

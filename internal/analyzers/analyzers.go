@@ -1,7 +1,8 @@
-// Package analyzers is the repository's static-analysis suite: ten
+// Package analyzers is the repository's static-analysis suite: twelve
 // framework.Analyzers that mechanically enforce the determinism,
-// lock-discipline, accounting, and goroutine-lifecycle invariants the
-// reproduction's correctness argument rests on.
+// lock-discipline, accounting, allocation, and goroutine-lifecycle
+// invariants the reproduction's correctness and performance arguments rest
+// on.
 //
 // The paper derives the membership properties M1-M5 under a precisely
 // controlled randomness model; the model<->simulation cross-validation in
@@ -23,8 +24,8 @@
 //	               package outside internal/runtime calls a concrete
 //	               substrate constructor
 //
-// The remaining four are interprocedural, built on the framework's CFG,
-// call graph, and taint engine, and see the whole loaded program:
+// The remaining six are interprocedural, built on the framework's CFG,
+// call graph, taint, and escape engines, and see the whole loaded program:
 //
 //	seedtaint no arithmetic-derived seed reaches rng.New through any
 //	          chain of calls or assignments
@@ -33,6 +34,11 @@
 //	goroleak  every goroutine in the runtime and commands has a
 //	          termination path and a shutdown/sync mechanism
 //	errdrop   transport/faults errors are consulted, never discarded
+//	hotalloc  no allocation site reachable from a //vet:hotpath root —
+//	          the zero-alloc tick guarantee, proved over every branch
+//	          instead of sampled by alloc counters
+//	atomicmix no field accessed both via sync/atomic and by plain
+//	          read/write without a mutex held
 //
 // Exceptions are granted per line with `//lint:allow <analyzer> <reason>`
 // (see the framework package).
@@ -57,6 +63,8 @@ func All() []*framework.Analyzer {
 		Lockreach,
 		Goroleak,
 		Errdrop,
+		Hotalloc,
+		Atomicmix,
 	}
 }
 

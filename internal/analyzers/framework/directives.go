@@ -1,7 +1,11 @@
 package framework
 
 import (
+	"go/ast"
+	"go/token"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // allowKey identifies one (file, line, analyzer) suppression grant.
@@ -11,67 +15,176 @@ type allowKey struct {
 	analyzer string
 }
 
-// collectAllows scans a package's comments for //lint:allow directives. A
-// directive grants suppression on its own line and on the line directly
-// below it, so both trailing-comment and preceding-comment styles work:
-//
-//	import "math/rand" //lint:allow detrand cross-validation only
-//
-//	//lint:allow detrand cross-validation only
-//	import "math/rand"
-func collectAllows(pkg *Package) map[allowKey]bool {
-	allows := make(map[allowKey]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range names {
-					allows[allowKey{pos.Filename, pos.Line, name}] = true
-					allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+// AllowDirective is one parsed //lint:allow grant. Used reports whether the
+// directive suppressed at least one diagnostic (or answered an AllowedAt
+// query) during this run — a directive that is never used is a stale escape
+// hatch the -unusedallow sfvet mode surfaces.
+type AllowDirective struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	Used     bool
+}
+
+// allowSet is a package's parsed suppression directives. Both line grants of
+// a directive (its own line and the one below) share a single record, so
+// using either marks the directive used. The mutex covers Used marking:
+// AllowedAt may be called from parallel per-package passes.
+type allowSet struct {
+	mu    sync.Mutex
+	byKey map[allowKey]*AllowDirective
+	all   []*AllowDirective
+}
+
+// allows returns the package's directive set, building it on first use.
+func (pkg *Package) allows() *allowSet {
+	pkg.allowOnce.Do(func() {
+		s := &allowSet{byKey: make(map[allowKey]*AllowDirective)}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, reason, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, name := range names {
+						d := &AllowDirective{
+							File:     pos.Filename,
+							Line:     pos.Line,
+							Analyzer: name,
+							Reason:   reason,
+						}
+						s.all = append(s.all, d)
+						// A directive grants suppression on its own line and
+						// on the line directly below it, so both
+						// trailing-comment and preceding-comment styles work.
+						s.byKey[allowKey{pos.Filename, pos.Line, name}] = d
+						s.byKey[allowKey{pos.Filename, pos.Line + 1, name}] = d
+					}
 				}
 			}
 		}
-	}
-	return allows
+		pkg.allowSet = s
+	})
+	return pkg.allowSet
 }
 
-// parseAllow extracts the analyzer names from one comment's text, or
-// reports that the comment is not an allow directive. The expected shape is
-// `//lint:allow name[,name...] [free-text reason]`.
-func parseAllow(text string) ([]string, bool) {
+// parseAllow extracts the analyzer names and trailing free-text reason from
+// one comment's text, or reports that the comment is not an allow directive.
+// The expected shape is `//lint:allow name[,name...] [free-text reason]`.
+func parseAllow(text string) (names []string, reason string, ok bool) {
 	const prefix = "//lint:allow"
 	if !strings.HasPrefix(text, prefix) {
-		return nil, false
+		return nil, "", false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
 	if rest == "" {
-		return nil, false
+		return nil, "", false
 	}
 	namesField := strings.Fields(rest)[0]
-	var names []string
+	reason = strings.TrimSpace(strings.TrimPrefix(rest, namesField))
 	for _, n := range strings.Split(namesField, ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names, len(names) > 0
+	return names, reason, len(names) > 0
 }
 
-// suppressAllowed drops diagnostics covered by an allow directive.
+// suppressAllowed drops diagnostics covered by an allow directive, marking
+// the covering directives used.
 func suppressAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	allows := collectAllows(pkg)
-	if len(allows) == 0 {
+	s := pkg.allows()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.byKey) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-			kept = append(kept, d)
+		if a := s.byKey[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; a != nil {
+			a.Used = true
+			continue
 		}
+		kept = append(kept, d)
 	}
 	return kept
+}
+
+// AllowedAt reports whether an allow directive for the named analyzer covers
+// pos, marking it used. Analyzers use this to honor suppressions at places
+// other than the reported diagnostic — hotalloc consults it at every call
+// edge so an allow on a call site prunes the whole subtree behind the call.
+func (pkg *Package) AllowedAt(pos token.Pos, analyzer string) bool {
+	s := pkg.allows()
+	p := pkg.Fset.Position(pos)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a := s.byKey[allowKey{p.Filename, p.Line, analyzer}]; a != nil {
+		a.Used = true
+		return true
+	}
+	return false
+}
+
+// UnusedAllows returns every //lint:allow directive in the program that
+// suppressed nothing during the analyses run so far, sorted by file, line,
+// and analyzer. Call it after AnalyzeAll: a directive unused at that point
+// is a stale escape hatch — the diagnostic it once silenced is gone.
+func (prog *Program) UnusedAllows() []AllowDirective {
+	var out []AllowDirective
+	for _, pkg := range prog.Packages {
+		s := pkg.allows()
+		s.mu.Lock()
+		for _, d := range s.all {
+			if !d.Used {
+				out = append(out, *d)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// HotpathDecls returns the function declarations in pkg marked with a
+// //vet:hotpath directive comment. The directive must sit in the
+// declaration's doc comment group (directly above the func keyword, no blank
+// line), the same placement contract as //go:noinline:
+//
+//	// TickRound advances every node one round.
+//	//
+//	//vet:hotpath
+//	func (e *ShardedCluster) TickRound() { ... }
+//
+// These declarations are the roots the hotalloc analyzer proves
+// allocation-free together with everything they transitively call.
+func HotpathDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text == "//vet:hotpath" || strings.HasPrefix(c.Text, "//vet:hotpath ") {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
 }

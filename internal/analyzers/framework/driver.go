@@ -3,6 +3,7 @@ package framework
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -26,7 +28,18 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Parsed //lint:allow directives, built lazily (see directives.go).
+	allowOnce sync.Once
+	allowSet  *allowSet
 }
+
+// ErrExportData marks a package-load failure caused by missing or unreadable
+// compiled export data — typically a toolchain/cache mismatch, not a bug in
+// the analyzed code. Drivers should test for it with errors.Is and print an
+// actionable message (run `go build ./...` to repopulate the build cache)
+// instead of surfacing the raw type-checker error.
+var ErrExportData = errors.New("export data load failed")
 
 // listedPackage is the slice of `go list -json` output the driver uses.
 type listedPackage struct {
@@ -79,7 +92,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
 		exp, ok := l.exports[path]
 		if !ok || exp == "" {
-			return nil, fmt.Errorf("framework: no export data for %q", path)
+			return nil, fmt.Errorf("framework: no export data for %q: %w", path, ErrExportData)
 		}
 		return os.Open(exp)
 	})
@@ -222,10 +235,22 @@ func (l *Loader) check(path, dir string, fileNames []string) (*Package, error) {
 			max = 5
 		}
 		msgs := make([]string, 0, max)
+		importFailed := false
 		for _, e := range typeErrs[:max] {
-			msgs = append(msgs, e.Error())
+			msg := e.Error()
+			if strings.Contains(msg, "could not import") || strings.Contains(msg, "no export data for") {
+				importFailed = true
+			}
+			msgs = append(msgs, msg)
 		}
-		return nil, fmt.Errorf("framework: type errors in %s:\n  %s", path, strings.Join(msgs, "\n  "))
+		joined := strings.Join(msgs, "\n  ")
+		if importFailed {
+			// The type checker flattens importer failures into ordinary type
+			// errors; resurface them under the sentinel so drivers can tell
+			// a stale build cache apart from broken source.
+			return nil, fmt.Errorf("framework: loading export data for %s failed (%w):\n  %s", path, ErrExportData, joined)
+		}
+		return nil, fmt.Errorf("framework: type errors in %s:\n  %s", path, joined)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("framework: checking %s: %w", path, err)

@@ -1,0 +1,37 @@
+package framework
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExportDataFailureSurfacesSentinel proves the fail-fast contract end to
+// end at the framework layer: when a package's import has no export data in
+// the loader's table — the stale-build-cache shape — the type checker's
+// flattened "could not import" error is resurfaced under ErrExportData, so
+// drivers can errors.Is their way to the `go build ./...` remedy instead of
+// misreporting the cache problem as broken source.
+func TestExportDataFailureSurfacesSentinel(t *testing.T) {
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := "package p\n\nimport \"sendforget/internal/peer\"\n\nvar _ peer.ID\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Check the file without ever listing its import: the exports table has
+	// no entry for sendforget/internal/peer, exactly as if the build cache
+	// had been purged between `go list` and the importer's read.
+	_, err = l.check("p", dir, []string{"p.go"})
+	if err == nil {
+		t.Fatal("check succeeded with no export data for the import")
+	}
+	if !errors.Is(err, ErrExportData) {
+		t.Fatalf("error does not satisfy errors.Is(err, ErrExportData): %v", err)
+	}
+}

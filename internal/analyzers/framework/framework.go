@@ -87,7 +87,16 @@ type Program struct {
 	byPath map[string]*Package
 
 	mu     sync.Mutex
-	shared map[string]any
+	shared map[string]*sharedEntry
+}
+
+// sharedEntry is one memoized program-wide computation. Each key builds
+// under its own once, so one Shared build may depend on another (hotalloc's
+// reachability pass consumes the escape fixpoint); only self-recursion on a
+// single key deadlocks.
+type sharedEntry struct {
+	once sync.Once
+	v    any
 }
 
 // NewProgram builds the program view — including the call graph — over the
@@ -97,7 +106,7 @@ func NewProgram(pkgs []*Package) *Program {
 		Packages:  pkgs,
 		CallGraph: buildCallGraph(pkgs, "sendforget/"),
 		byPath:    make(map[string]*Package, len(pkgs)),
-		shared:    make(map[string]any),
+		shared:    make(map[string]*sharedEntry),
 	}
 	for _, pkg := range pkgs {
 		prog.byPath[pkg.Path] = pkg
@@ -110,18 +119,20 @@ func NewProgram(pkgs []*Package) *Program {
 func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
 
 // Shared memoizes a program-wide computation under key: the first caller
-// builds it, everyone else gets the same value. Builds run under the
-// program lock, so a value is computed exactly once even when packages are
-// analyzed in parallel; the built value must be treated as read-only.
+// builds it, everyone else gets the same value. Each key builds under its
+// own sync.Once, so a value is computed exactly once even when packages are
+// analyzed in parallel, and one build may call Shared for a different key;
+// the built value must be treated as read-only.
 func (prog *Program) Shared(key string, build func() any) any {
 	prog.mu.Lock()
-	defer prog.mu.Unlock()
-	if v, ok := prog.shared[key]; ok {
-		return v
+	e, ok := prog.shared[key]
+	if !ok {
+		e = &sharedEntry{}
+		prog.shared[key] = e
 	}
-	v := build()
-	prog.shared[key] = v
-	return v
+	prog.mu.Unlock()
+	e.once.Do(func() { e.v = build() })
+	return e.v
 }
 
 // Analyze applies every analyzer to one of the program's packages, filters

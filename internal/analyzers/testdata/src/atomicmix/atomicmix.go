@@ -1,0 +1,70 @@
+// Package atomicmix exercises the atomicmix analyzer: a variable accessed
+// through the classic sync/atomic function API must not also be read or
+// written plainly with no mutex held. The sanctioned repo pattern is a
+// typed atomic (atomic.Int64), which makes the mix a compile error; this
+// fixture is the classic form that regresses silently.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+	m  int64
+}
+
+// inc is the atomic side of the mix: it marks n as atomically accessed.
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+// read is the regression: a plain read of the atomic field with no lock.
+func (c *counter) read() int64 {
+	return c.n // want `n is accessed atomically .* but plainly here with no mutex held`
+}
+
+// write is the worse half of the same bug.
+func (c *counter) write(v int64) {
+	c.n = v // want `n is accessed atomically .* but plainly here with no mutex held`
+}
+
+// readLocked is accepted: any held mutex makes the plain access deliberate.
+func (c *counter) readLocked() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// readUnlockedAgain shows the dataflow is position-sensitive: after the
+// unlock the same expression is bare again.
+func (c *counter) readUnlockedAgain() int64 {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want `n is accessed atomically .* but plainly here with no mutex held`
+}
+
+// touch only ever uses m plainly: no atomic access, no findings.
+func (c *counter) touch() { c.m++ }
+
+// Package-level variables mix the same way.
+var hits int64
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+func peek() int64 {
+	return hits // want `hits is accessed atomically .* but plainly here with no mutex held`
+}
+
+// fresh constructs a counter; naming the field in a composite literal is not
+// an access.
+func fresh() *counter {
+	return &counter{n: 0}
+}
+
+// snapshot carries the reviewed escape hatch.
+func (c *counter) snapshot() int64 {
+	//lint:allow atomicmix approximate value for diagnostics; torn reads acceptable
+	return c.n
+}

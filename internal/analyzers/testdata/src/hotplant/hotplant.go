@@ -1,0 +1,74 @@
+// Package hotplant is a reduced copy of the sharded tick path — root
+// tickRound, an initiate pass over the nodes, and a rejoin branch — with a
+// one-line allocation planted in the branch that a steady-state dynamic
+// alloc count never executes: rejoin runs only for nodes whose incarnation
+// changed this round, and TestShardedZeroAllocTick-style counting over a
+// stable cluster (all incarnations zero) exercises zero of them. Hotalloc
+// reports the site regardless of which branches a run happens to take; the
+// mirror test in the analyzers package proves exactly that gap.
+package hotplant
+
+type node struct {
+	view        [8]int32
+	occ         int
+	incarnation int32
+}
+
+type cluster struct {
+	nodes []node
+	seen  []int32
+	inbox []int32
+}
+
+// tickRound mirrors ShardedCluster.TickRound: initiate then deliver.
+//
+//vet:hotpath
+func (c *cluster) tickRound() {
+	c.initiate()
+	c.deliver()
+}
+
+// initiate mirrors the initiate shard pass, with the rejoin branch taken
+// only on incarnation change — the branch a fixed-seed dynamic run at any n
+// never enters.
+func (c *cluster) initiate() {
+	for u := range c.nodes {
+		nd := &c.nodes[u]
+		if nd.incarnation != c.seen[u] {
+			c.rejoin(u)
+		}
+		if nd.occ >= 2 {
+			i, j := nd.occ-1, nd.occ-2
+			c.inbox = append(c.inbox, nd.view[i], nd.view[j])
+			nd.view[i], nd.view[j] = 0, 0
+			nd.occ -= 2
+		}
+	}
+}
+
+// rejoin is where the allocation hides: reseeding a returning node's view
+// builds a fresh id slice instead of reusing a pooled one.
+func (c *cluster) rejoin(u int) {
+	nd := &c.nodes[u]
+	seeds := make([]int32, len(c.nodes)) // want `allocation on hot path \(tickRound -> initiate -> rejoin\): make with non-constant size allocates`
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+	for i := 0; i < len(nd.view) && i < len(seeds); i++ {
+		nd.view[i] = seeds[i]
+	}
+	nd.occ = len(nd.view)
+	c.seen[u] = nd.incarnation
+}
+
+// deliver mirrors the deliver pass: drain the inbox into empty slots.
+func (c *cluster) deliver() {
+	for _, id := range c.inbox {
+		nd := &c.nodes[int(id)%len(c.nodes)]
+		if nd.occ < len(nd.view) {
+			nd.view[nd.occ] = id
+			nd.occ++
+		}
+	}
+	c.inbox = c.inbox[:0]
+}

@@ -149,6 +149,8 @@ func NewRouterModel(m loss.Model, r *rng.RNG, live func(peer.ID) bool) *Router {
 // with a per-message decision. Msg.IDs is copied only if the message parks
 // (delay-queue entries outlive the caller's buffers); the steady-state
 // paths never allocate.
+//
+//vet:hotpath
 func (rt *Router) Route(to peer.ID, msg protocol.Message) Outcome {
 	if rt.cond != nil {
 		return rt.ruleVerdict(rt.cond.Decide(msg.From, to, rt.rng), to, msg)
@@ -171,6 +173,8 @@ func (rt *Router) Route(to peer.ID, msg protocol.Message) Outcome {
 // bulk route pass locks the stack once per pass instead of once per
 // message. The caller owns the session; the router only draws a verdict
 // from it.
+//
+//vet:hotpath
 func (rt *Router) RouteIn(ses *faults.Session, to peer.ID, msg protocol.Message) Outcome {
 	return rt.ruleVerdict(ses.Decide(msg.From, to, rt.rng), to, msg)
 }
@@ -192,9 +196,11 @@ func (rt *Router) ruleVerdict(v faults.Verdict, to peer.ID, msg protocol.Message
 	if v.Delay > 0 {
 		rt.ledger.Delayed++
 		rt.seq++
+		//lint:allow hotalloc delay-queue entries outlive the caller's arena; parking is off the zero-alloc steady state
 		ids := make([]peer.ID, len(msg.IDs))
 		copy(ids, msg.IDs)
 		msg.IDs = ids
+		//lint:allow hotalloc heap.Push boxes the parked entry; only delayed messages pay it
 		heap.Push(&rt.pending, parked{due: rt.clock + v.Delay, seq: rt.seq, to: to, msg: msg})
 		return Parked
 	}

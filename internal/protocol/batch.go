@@ -49,6 +49,8 @@ func (o *Outbox) Len() int { return len(o.Msgs) }
 // Append buffers one message. Up to two ids are stored inline in the
 // header; longer payloads are copied into the arena, so callers may pass
 // views into their own (or another outbox's) storage either way.
+//
+//vet:hotpath
 func (o *Outbox) Append(to, from peer.ID, kind Kind, dup bool, ids ...peer.ID) {
 	m := FlatMsg{To: to, From: from, IDLen: int32(len(ids)), Kind: kind, Dup: dup}
 	if len(ids) <= 2 {
@@ -63,6 +65,8 @@ func (o *Outbox) Append(to, from peer.ID, kind Kind, dup bool, ids ...peer.ID) {
 // Append2 buffers one two-id message — the shape every gossip message of
 // the Figure 5.1 protocol family has. It is Append specialized to fixed
 // arity: one header store, no variadic slice, no arena traffic.
+//
+//vet:hotpath
 func (o *Outbox) Append2(to, from peer.ID, kind Kind, dup bool, id0, id1 peer.ID) {
 	o.Msgs = append(o.Msgs, FlatMsg{
 		To: to, From: from,
@@ -76,6 +80,8 @@ func (o *Outbox) Append2(to, from peer.ID, kind Kind, dup bool, id0, id1 peer.ID
 // flipper baseline and of degenerate shuffle offers. Like Append2 it is
 // Append specialized to fixed arity: one header store, no variadic slice,
 // no arena traffic.
+//
+//vet:hotpath
 func (o *Outbox) Append1(to, from peer.ID, kind Kind, dup bool, id0 peer.ID) {
 	o.Msgs = append(o.Msgs, FlatMsg{
 		To: to, From: from,
@@ -88,6 +94,8 @@ func (o *Outbox) Append1(to, from peer.ID, kind Kind, dup bool, id0 peer.ID) {
 // MsgIDs returns message m's ids. The slice aliases the header (inline ids)
 // or the arena: it is valid until the next Reset and must not be retained
 // past it. m must point into o.Msgs.
+//
+//vet:hotpath
 func (o *Outbox) MsgIDs(m *FlatMsg) []peer.ID {
 	if m.IDLen <= 2 {
 		return m.IDs[:m.IDLen]

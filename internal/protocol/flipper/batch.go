@@ -14,6 +14,8 @@ var _ protocol.BatchStepCore = (*Core)(nil)
 // RandomPairFast and the single-id request written straight into the
 // driver's outbox. Per the BatchStepCore contract the core's diagnostic
 // counters are not maintained here.
+//
+//vet:hotpath
 func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
 	i, j := lv.RandomPairFast(r)
 	v, w := lv.Slot(i), lv.Slot(j)
@@ -29,6 +31,8 @@ func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol
 // fused into one view op — detach a uniform occupied entry z, adopt w in a
 // uniform empty slot — with the reply appended to the outbox; a reply just
 // stores the returned id.
+//
+//vet:hotpath
 func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
 	switch pkt.Kind {
 	case protocol.KindRequest:

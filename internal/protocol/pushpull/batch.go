@@ -14,6 +14,8 @@ var _ protocol.BatchStepCore = (*Core)(nil)
 // RandomPairFast and the message written straight into the driver's outbox.
 // Per the BatchStepCore contract the core's diagnostic counters are not
 // maintained here.
+//
+//vet:hotpath
 func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
 	i, j := lv.RandomPairFast(r)
 	v, w := lv.Slot(i), lv.Slot(j)
@@ -27,6 +29,8 @@ func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol
 // ReceiveBatch is Receive on the batch path: store each pushed id into a
 // fused uniformly chosen empty slot, evicting a uniformly random entry when
 // the view is full. Push-pull never replies.
+//
+//vet:hotpath
 func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
 	if pkt.Kind != protocol.KindGossip {
 		return false

@@ -26,6 +26,8 @@ var _ protocol.BatchStepCore = (*Core)(nil)
 // fused in place — same slot reads, same duplication rule, same fused clear —
 // with the pair selection drawn through the view's single-draw selector, so
 // one initiate costs one RNG word and no intermediate Send value.
+//
+//vet:hotpath
 func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
 	i, j := lv.RandomPairFast(r)
 	v, w := lv.Slot(i), lv.Slot(j)
@@ -49,6 +51,8 @@ func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol
 // check uses the view's own occupancy (outdegree can never exceed the slot
 // count, so full ⟺ d(u) = s), keeping the whole receive inside the view
 // header's cache line.
+//
+//vet:hotpath
 func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
 	if pkt.Kind != protocol.KindGossip || len(pkt.IDs) != 2 {
 		return false

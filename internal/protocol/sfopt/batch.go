@@ -33,6 +33,8 @@ func chooseDistinct(r *rng.RNG, n int, dst []int) {
 // straight into the driver's outbox. The graveyard — protocol state, not a
 // diagnostic — is maintained exactly as on the scalar path; the core's
 // event counters are per the BatchStepCore contract not.
+//
+//vet:hotpath
 func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol.Outbox) (msgs, dups int, ok bool) {
 	k := c.opts.BatchK
 	slots := c.slotsScratch[:k]
@@ -83,6 +85,8 @@ func (c *Core) InitiateBatch(lv *view.View, u peer.ID, r *rng.RNG, out *protocol
 // ReceiveBatch is Receive on the batch path: store each id into a fused
 // uniformly chosen empty slot, replacing (with burial) or deleting on
 // overflow per the options.
+//
+//vet:hotpath
 func (c *Core) ReceiveBatch(lv *view.View, u peer.ID, pkt protocol.Packet, r *rng.RNG, out *protocol.Outbox) bool {
 	if pkt.Kind != protocol.KindGossip {
 		return false

@@ -127,6 +127,8 @@ func (v *View) RandomEmptySlots(r *rng.RNG, k int) ([]int, bool) {
 // instead of two, with the (documented, negligible) lane bias and a
 // different draw mapping. Batch step cores use it; the classic cores keep
 // RandomPair so their seeded streams are unchanged.
+//
+//vet:hotpath
 func (v *View) RandomPairFast(r *rng.RNG) (i, j int) {
 	return r.FastPair(len(v.slots))
 }
@@ -138,6 +140,8 @@ func (v *View) RandomPairFast(r *rng.RNG) (i, j int) {
 // distinct empty slots up to rng.FastPair's negligible lane bias), but the
 // RNG draw mapping differs, so the two forms are not stream-compatible under
 // a shared seed. It returns ok = false when fewer than two slots are empty.
+//
+//vet:hotpath
 func (v *View) RandomEmptyPair(r *rng.RNG) (a, b int, ok bool) {
 	s := len(v.slots)
 	e := s - v.out
@@ -182,6 +186,8 @@ func (v *View) RandomEmptyPair(r *rng.RNG) (a, b int, ok bool) {
 // once without re-reading the slots. Callers guarantee a != b and that both
 // slots are empty (RandomEmptyPair's contract); Nil ids fall back to Set,
 // which handles them like Clear.
+//
+//vet:hotpath
 func (v *View) FillEmptyPair(a, b int, ida, idb peer.ID) {
 	if ida == peer.Nil || idb == peer.Nil {
 		v.Set(a, ida)
@@ -204,6 +210,8 @@ func (v *View) FillEmptyPair(a, b int, ida, idb peer.ID) {
 // ClearOccupiedPair empties the distinct slots i and j — the initiate step's
 // two Clear calls fused. Callers guarantee i != j and that both slots are
 // occupied (the initiate step just read both ids and found them non-Nil).
+//
+//vet:hotpath
 func (v *View) ClearOccupiedPair(i, j int) {
 	v.slots[i] = peer.Nil
 	v.slots[j] = peer.Nil
@@ -224,6 +232,8 @@ func (v *View) ClearOccupiedPair(i, j int) {
 // RandomEmptySlots', but the RNG draw mapping differs (one Intn draw instead
 // of a Choose permutation step), so the two forms are not stream-compatible
 // under a shared seed. It returns ok = false when the view is full.
+//
+//vet:hotpath
 func (v *View) RandomEmptySlot(r *rng.RNG) (int, bool) {
 	s := len(v.slots)
 	e := s - v.out
@@ -255,6 +265,8 @@ func (v *View) RandomEmptySlot(r *rng.RNG) (int, bool) {
 // without allocating — the fused form of indexing OccupiedSlots() with
 // r.Intn, used by batch receive steps (flipper's pointer flip, shuffle's
 // single-entry swap). It returns ok = false when the view is empty.
+//
+//vet:hotpath
 func (v *View) RandomOccupiedSlot(r *rng.RNG) (int, bool) {
 	if v.out == 0 {
 		return 0, false
@@ -284,6 +296,8 @@ func (v *View) RandomOccupiedSlot(r *rng.RNG) (int, bool) {
 // occupied slots up to rng.FastPair's negligible lane bias; the draw mapping
 // differs from the scalar Choose path. It returns ok = false when fewer than
 // two slots are occupied.
+//
+//vet:hotpath
 func (v *View) RandomOccupiedPair(r *rng.RNG) (a, b int, ok bool) {
 	if v.out < 2 {
 		return 0, 0, false
@@ -320,6 +334,8 @@ func (v *View) RandomOccupiedPair(r *rng.RNG) (a, b int, ok bool) {
 // ok = false when the view is empty and nothing was replaced. The slot
 // distribution matches the scalar OccupiedSlots/Clear/RandomEmptySlots
 // sequence; only the RNG draw mapping differs.
+//
+//vet:hotpath
 func (v *View) ReplaceRandomOccupied(r *rng.RNG, w peer.ID) (z peer.ID, ok bool) {
 	i, ok := v.RandomOccupiedSlot(r)
 	if !ok {
