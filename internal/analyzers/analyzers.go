@@ -1,8 +1,8 @@
-// Package analyzers is the repository's static-analysis suite: twelve
+// Package analyzers is the repository's static-analysis suite: fourteen
 // framework.Analyzers that mechanically enforce the determinism,
-// lock-discipline, accounting, allocation, and goroutine-lifecycle
-// invariants the reproduction's correctness and performance arguments rest
-// on.
+// lock-discipline, accounting, allocation, goroutine-lifecycle, and
+// concurrency invariants the reproduction's correctness and performance
+// arguments rest on.
 //
 // The paper derives the membership properties M1-M5 under a precisely
 // controlled randomness model; the model<->simulation cross-validation in
@@ -24,8 +24,9 @@
 //	               package outside internal/runtime calls a concrete
 //	               substrate constructor
 //
-// The remaining six are interprocedural, built on the framework's CFG,
-// call graph, taint, and escape engines, and see the whole loaded program:
+// The remaining eight are interprocedural, built on the framework's CFG,
+// call graph, taint, escape, and happens-before engines, and see the whole
+// loaded program:
 //
 //	seedtaint no arithmetic-derived seed reaches rng.New through any
 //	          chain of calls or assignments
@@ -39,6 +40,12 @@
 //	          instead of sampled by alloc counters
 //	atomicmix no field accessed both via sync/atomic and by plain
 //	          read/write without a mutex held
+//	sharedguard conflicting accesses to substrate state (runtime, mgmt,
+//	          driver, transport) must be ordered by a happens-before
+//	          edge, excluded by a common lock, or provably confined
+//	shardconfine fields annotated //vet:confined are only touched by
+//	          their owning shard's worker between barrier phases or
+//	          while holding the engine's gate token
 //
 // Exceptions are granted per line with `//lint:allow <analyzer> <reason>`
 // (see the framework package).
@@ -65,6 +72,8 @@ func All() []*framework.Analyzer {
 		Errdrop,
 		Hotalloc,
 		Atomicmix,
+		Sharedguard,
+		Shardconfine,
 	}
 }
 

@@ -1,0 +1,1173 @@
+// The happens-before/confinement engine: the framework's fifth layer, under
+// the sharedguard and shardconfine analyzers. It models the orderings a Go
+// program establishes — goroutine-creation edges, channel token protocols
+// (including the sharded engine's gate/work/done barrier dispatch),
+// sync.WaitGroup join edges, sync.Once bodies, and mutex locksets — and
+// classifies every pair of accesses to the same shared object as read-only,
+// constructor-fresh, sequential, ordered, mutually excluded, confined, or
+// racy.
+//
+// The engine is deliberately instance-insensitive: a lock or an access is
+// keyed by the declared field (or package variable) object, not by the
+// runtime instance, exactly like lockreach's receiver-path keys one level
+// up. That makes the classification a may-analysis over instances: two
+// accesses with a common exclusive lock key are excluded on every instance,
+// and two conflicting accesses with no ordering on any instance are
+// reported once, at the write.
+//
+// Three ideas carry the precision the sharded engine needs:
+//
+//   - Token channels. A capacity-1 channel field that some single function
+//     both bare-receives (acquire) and sends (release) is a lock; holding
+//     it is ModeExcl, like a mutex. Deferred releases are ignored, so a
+//     token acquired under `defer func() { e.gate <- struct{}{} }()` is
+//     held to function exit.
+//
+//   - Barrier-inherited locks. When a goroutine parks on a select case that
+//     receives work from channel W and answers on channel D, and some
+//     function sends W and bare-receives D (the dispatcher), the locks the
+//     dispatcher holds at the send are inherited by the worker region
+//     between the W-receive and the D-send — demoted to ModeBarrier. A
+//     barrier lock excludes the region against every *real* holder of the
+//     same lock (the engine cannot be re-entered while its dispatcher holds
+//     the gate), but not against the other workers of the same phase: those
+//     run concurrently and must be confined by shard index instead.
+//
+//   - Confinement. Accesses that provably stay inside one worker's shard —
+//     indexed by a value tainted from the shard-steal counter, reached
+//     through a handle checked out at such an index, or rooted in a
+//     function-local value — are confined; two confined accesses cannot
+//     alias across workers.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockMode grades how strongly a held lock key excludes other holders.
+// ModeExcl is a real exclusive hold (mutex Lock, token channel, once body);
+// ModeRead is a shared RLock hold; ModeBarrier is inherited across a
+// dispatch barrier and excludes only non-barrier holders.
+type LockMode int
+
+const (
+	ModeBarrier LockMode = iota
+	ModeRead
+	ModeExcl
+)
+
+// Lockset maps lock key objects (mutex fields, token channel fields,
+// sync.Once fields) to the mode they are held in.
+type Lockset map[types.Object]LockMode
+
+func (l Lockset) clone() Lockset {
+	c := make(Lockset, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect is the call-site meet: a callee holds a key only if every
+// caller holds it, in the weakest mode any caller holds it in.
+func intersectLocks(a, b Lockset) Lockset {
+	out := make(Lockset)
+	for k, ma := range a {
+		if mb, ok := b[k]; ok {
+			m := ma
+			if mb < m {
+				m = mb
+			}
+			out[k] = m
+		}
+	}
+	return out
+}
+
+func equalLocks(a, b Lockset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Goroutine is one static goroutine-creation context: a go statement, or
+// the synthetic External context modeling callers outside the loaded
+// program (exported API, main, stored callbacks, address-taken methods).
+type Goroutine struct {
+	Pos   token.Pos
+	Label string
+	// SelfConcurrent marks a spawn site inside a loop: two instances of the
+	// same goroutine may run concurrently with each other.
+	SelfConcurrent bool
+	// External marks the synthetic outside-world context. Two accesses that
+	// only ever run externally are treated as sequenced by the caller
+	// (exported APIs synchronize internally; the pair rule needs at least
+	// one side on a tracked goroutine).
+	External bool
+}
+
+// ConfinedField is one struct field annotated `//vet:confined shard` or
+// `//vet:confined gate`.
+type ConfinedField struct {
+	Field *types.Var
+	// Mode is "shard" (owned by the worker processing the field's shard
+	// index between barrier phases) or "gate" (touched only while holding
+	// the owning engine's token channel for real).
+	Mode string
+	Pos  token.Position
+}
+
+// ConcAccess is one read or write of a tracked shared object (a struct
+// field or package-level variable), with everything the pair classifier
+// needs: where, in which goroutine contexts, under which locks, and
+// whether the access is provably confined.
+type ConcAccess struct {
+	Obj      types.Object
+	Pos      token.Pos
+	Position token.Position
+	Pkg      *Package
+	FnLabel  string
+	Write    bool
+	// Fresh: the access runs on an object this function just allocated and
+	// has not shared yet (constructor confinement).
+	Fresh bool
+	// Confined: the access stays inside one worker's shard or one
+	// function's locals — a shard-index-tainted element access, an access
+	// through a handle checked out at such an index, or an access rooted
+	// in a pointer-free local value.
+	Confined bool
+	// Region is the named type that owns the storage the access resolves
+	// into: the pointee of the last pointer crossed on the access path (or
+	// the root variable's own type), with slice, array, and map storage
+	// counted as inside their owner. Nil when the path defies the walk.
+	// Accesses in regions that provably cannot overlap do not race even
+	// though they share a field object.
+	Region types.Type
+	// Locks holds the must-held lock keys at the access.
+	Locks Lockset
+	// Joined holds WaitGroup objects this access runs after Wait() on.
+	Joined map[types.Object]bool
+	// Ctxs holds the goroutine contexts the enclosing code may run in.
+	Ctxs map[*Goroutine]bool
+
+	unit *concUnit
+}
+
+// HoldsToken reports whether the access really holds (ModeExcl) a token
+// channel of the concurrency result — the gate, for the sharded engine.
+func (a *ConcAccess) HoldsToken(r *ConcurrencyResult) bool {
+	for k, m := range a.Locks {
+		if m == ModeExcl && r.Tokens[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// InBarrierPhase reports whether the access runs in a worker region that
+// inherited a token across a dispatch barrier — i.e. between receiving a
+// phase from the dispatcher and reporting done.
+func (a *ConcAccess) InBarrierPhase(r *ConcurrencyResult) bool {
+	for k, m := range a.Locks {
+		if m == ModeBarrier && r.Tokens[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// PairClass is the verdict on one pair of accesses to the same object.
+type PairClass int
+
+const (
+	// PairReadRead: neither access writes.
+	PairReadRead PairClass = iota
+	// PairFresh: at least one side runs on a freshly allocated, not yet
+	// shared instance.
+	PairFresh
+	// PairSequential: the two accesses cannot run concurrently (no
+	// overlapping goroutine contexts beyond the external caller).
+	PairSequential
+	// PairOrdered: a happens-before edge (goroutine creation, WaitGroup
+	// join) orders the two accesses.
+	PairOrdered
+	// PairExcluded: a common lock key held in an exclusive-enough mode on
+	// at least one side separates the accesses.
+	PairExcluded
+	// PairDisjoint: the two accesses resolve into value storage owned by
+	// distinct named types, neither of which can appear inside the other's
+	// value representation — the storage cannot overlap even though the
+	// declared field object is shared (e.g. the same counter struct
+	// embedded by value in two unrelated engine types).
+	PairDisjoint
+	// PairConfined: both accesses are confined to one worker's shard or
+	// one function's locals, so they cannot alias across threads.
+	PairConfined
+	// PairRacy: conflicting, concurrent, unordered, unlocked, unconfined.
+	PairRacy
+)
+
+// ConcurrencyResult is the program-wide happens-before/confinement model,
+// built once per Program (prog.Concurrency()) and shared by analyzers.
+type ConcurrencyResult struct {
+	// Accesses holds every tracked access in deterministic (file, line,
+	// col) order.
+	Accesses []*ConcAccess
+	// Confined maps annotated field objects to their confinement contract.
+	Confined map[types.Object]*ConfinedField
+	// Tokens marks the channel objects detected as exclusivity tokens.
+	Tokens map[types.Object]bool
+
+	spawns map[*types.Func][]spawnRec
+}
+
+// Concurrency returns the program's happens-before/confinement model,
+// computing it on first use.
+func (prog *Program) Concurrency() *ConcurrencyResult {
+	return prog.Shared("framework.concurrency", func() any {
+		return newConcSolver(prog).solve()
+	}).(*ConcurrencyResult)
+}
+
+// Classify grades one pair of accesses to the same object. The order of
+// the tests is the proof search: cheap structural exemptions first, then
+// concurrency, ordering, exclusion, confinement.
+func (r *ConcurrencyResult) Classify(a, b *ConcAccess) PairClass {
+	if !a.Write && !b.Write {
+		return PairReadRead
+	}
+	if a.Fresh || b.Fresh {
+		return PairFresh
+	}
+	if !mayRunConcurrently(a, b) {
+		return PairSequential
+	}
+	if r.ordered(a, b) || r.ordered(b, a) {
+		return PairOrdered
+	}
+	if locksExclude(a.Locks, b.Locks) {
+		return PairExcluded
+	}
+	if regionsDisjoint(a.Region, b.Region) {
+		return PairDisjoint
+	}
+	if a.Confined && b.Confined {
+		return PairConfined
+	}
+	return PairRacy
+}
+
+// regionsDisjoint reports that two accesses land in storage owned by
+// distinct named types where neither type's value representation can
+// contain the other: such storage cannot overlap, so the pair cannot be
+// the same memory even under the instance-insensitive field keying.
+func regionsDisjoint(a, b types.Type) bool {
+	if a == nil || b == nil || types.Identical(a, b) {
+		return false
+	}
+	return !valueReach(a, b, make(map[types.Type]bool)) &&
+		!valueReach(b, a, make(map[types.Type]bool))
+}
+
+// valueReach reports whether the value representation of from — its
+// fields, array elements, and the backing stores of its slices and maps —
+// can contain a to. Pointers, interfaces, channels, and funcs stop the
+// walk: storage behind them is a separate allocation with its own region.
+func valueReach(from, to types.Type, seen map[types.Type]bool) bool {
+	if types.Identical(from, to) {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	switch u := from.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if valueReach(u.Field(i).Type(), to, seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return valueReach(u.Elem(), to, seen)
+	case *types.Slice:
+		return valueReach(u.Elem(), to, seen)
+	case *types.Map:
+		return valueReach(u.Key(), to, seen) || valueReach(u.Elem(), to, seen)
+	}
+	return false
+}
+
+// mayRunConcurrently: the pair needs two contexts that can overlap, at
+// least one of them a tracked goroutine. Two accesses that only ever run
+// in external callers are the caller's to sequence.
+func mayRunConcurrently(a, b *ConcAccess) bool {
+	for ga := range a.Ctxs {
+		for gb := range b.Ctxs {
+			if ga.External && gb.External {
+				continue
+			}
+			if ga != gb || ga.SelfConcurrent {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// locksExclude: a common key held on both sides, where at least one side
+// holds it exclusively. Read-vs-read on an RWMutex does not exclude, and
+// neither does barrier-vs-barrier: two workers of the same phase hold the
+// same inherited token and still run concurrently.
+func locksExclude(a, b Lockset) bool {
+	for k, ma := range a {
+		if mb, ok := b[k]; ok && (ma == ModeExcl || mb == ModeExcl) {
+			return true
+		}
+	}
+	return false
+}
+
+// ordered reports a happens-before edge from a to b: either b runs only in
+// goroutines a's function spawns after a executes (goroutine-creation
+// edge), or b's function signals a WaitGroup a has already Wait()ed on
+// (join edge).
+func (r *ConcurrencyResult) ordered(a, b *ConcAccess) bool {
+	// Join edge: a runs after wg.Wait(); b's unit calls wg.Done().
+	for w := range a.Joined {
+		if b.unit.doneWGs[w] {
+			return true
+		}
+	}
+	// Spawn edge: every context of b is a goroutine spawned in a's
+	// declaring function, at a point after a.
+	if a.unit.root && len(b.Ctxs) > 0 {
+		all := true
+		for gb := range b.Ctxs {
+			if gb.External {
+				all = false
+				break
+			}
+			found := false
+			for _, rec := range r.spawns[a.unit.declObj] {
+				if rec.g == gb && rec.pos > a.Pos {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Solver
+// ---------------------------------------------------------------------------
+
+type spawnRec struct {
+	pos token.Pos
+	g   *Goroutine
+}
+
+// concUnit is one unit of sequential execution for bookkeeping purposes: a
+// declared function body together with its deferred and immediately
+// invoked literals. Go-statement literals and stored callback literals get
+// their own units.
+type concUnit struct {
+	declObj *types.Func
+	label   string
+	// root: this unit is the declared body proper (spawn-before edges
+	// anchor here).
+	root    bool
+	doneWGs map[types.Object]bool
+}
+
+// concFn is the solver's view of one declared function.
+type concFn struct {
+	pkg   *Package
+	decl  *ast.FuncDecl
+	obj   *types.Func
+	label string
+	ctxs  map[*Goroutine]bool
+	entry Lockset
+	known bool
+	root  bool
+	// goEntry: some go statement spawns this function directly. Its entry
+	// lockset is pinned empty — a fresh goroutine holds nothing — even if
+	// other call sites exist.
+	goEntry bool
+}
+
+// barrierSpec is one detected dispatch barrier: receiving from work starts
+// the inherited region, sending done ends it.
+type barrierSpec struct {
+	work, done types.Object
+	locks      Lockset // every key ModeBarrier
+}
+
+type concSolver struct {
+	prog     *Program
+	fns      []*concFn
+	byObj    map[*types.Func]*concFn
+	tokens   map[types.Object]bool
+	confined map[types.Object]*ConfinedField
+	external *Goroutine
+	litCtx   map[*ast.FuncLit]*Goroutine
+	spawns   map[*types.Func][]spawnRec
+	barriers []*barrierSpec
+
+	hasCaller map[*types.Func]bool
+	addrTaken map[*types.Func]bool
+
+	// Cross-function must-facts for parameters, updated per fixpoint round
+	// with AND semantics over call sites.
+	paramTaint map[*types.Var]bool
+	paramBless map[*types.Var]bool
+	// recvRegion refines a method receiver's storage region when every
+	// known (non-fresh, non-interface) call site agrees on it: the helper
+	// (NodeCounters).accumulate only ever runs on &e.counters[k], so its
+	// receiver accesses are in the ShardedCluster region, not in every
+	// struct that embeds a NodeCounters.
+	recvRegion map[*types.Var]types.Type
+
+	// Per-round accumulators.
+	cand       map[*types.Func]Lockset
+	candSeen   map[*types.Func]bool
+	taintCand  map[*types.Var]int // bit1 = saw tainted site, bit2 = saw untainted
+	blessCand  map[*types.Var]int
+	sendHeld   map[types.Object]Lockset // meet of held at sends per chan field
+	sendHeldOK map[types.Object]bool
+	freshCand  map[*types.Func]int // bit1 = fresh-receiver site, bit2 = shared site
+	recvCand   map[*types.Var]types.Type
+	recvSeen   map[*types.Var]bool
+	recvBad    map[*types.Var]bool
+	// freshOnly: every known call site of this method runs on a freshly
+	// constructed receiver — its receiver accesses are constructor-fresh.
+	freshOnly map[*types.Func]bool
+
+	cfgs map[*ast.BlockStmt]*CFG
+
+	emit     bool
+	accesses []*ConcAccess
+}
+
+func newConcSolver(prog *Program) *concSolver {
+	return &concSolver{
+		prog:       prog,
+		byObj:      make(map[*types.Func]*concFn),
+		tokens:     make(map[types.Object]bool),
+		confined:   make(map[types.Object]*ConfinedField),
+		external:   &Goroutine{Label: "external caller", External: true},
+		litCtx:     make(map[*ast.FuncLit]*Goroutine),
+		spawns:     make(map[*types.Func][]spawnRec),
+		hasCaller:  make(map[*types.Func]bool),
+		addrTaken:  make(map[*types.Func]bool),
+		paramTaint: make(map[*types.Var]bool),
+		paramBless: make(map[*types.Var]bool),
+		recvRegion: make(map[*types.Var]types.Type),
+		freshOnly:  make(map[*types.Func]bool),
+		cfgs:       make(map[*ast.BlockStmt]*CFG),
+	}
+}
+
+func (s *concSolver) solve() *ConcurrencyResult {
+	s.collectFunctions()
+	s.collectConfined()
+	s.collectTokens()
+	s.collectReferences()
+	s.seedContexts()
+	s.propagateContexts()
+	s.lockFixpoint() // phase 1: no barriers
+	s.detectBarriers()
+	if len(s.barriers) > 0 {
+		s.lockFixpoint() // phase 2: barrier regions inherit demoted locks
+	}
+	s.emit = true
+	s.cand, s.candSeen = nil, nil
+	for _, fn := range s.fns {
+		if fn.known {
+			s.runBody(fn)
+		}
+	}
+	sort.Slice(s.accesses, func(i, j int) bool {
+		a, b := s.accesses[i].Position, s.accesses[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return &ConcurrencyResult{
+		Accesses: s.accesses,
+		Confined: s.confined,
+		Tokens:   s.tokens,
+		spawns:   s.spawns,
+	}
+}
+
+func (s *concSolver) collectFunctions() {
+	for _, pkg := range s.prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := FuncOf(pkg, fd)
+				if obj == nil {
+					continue
+				}
+				fn := &concFn{
+					pkg:   pkg,
+					decl:  fd,
+					obj:   obj,
+					label: funcLabel(obj),
+					ctxs:  make(map[*Goroutine]bool),
+				}
+				s.fns = append(s.fns, fn)
+				s.byObj[obj] = fn
+			}
+		}
+	}
+}
+
+// collectConfined parses the //vet:confined field directives. The
+// directive sits in the field's doc comment group or its trailing line
+// comment:
+//
+//	slots []peer.ID //vet:confined shard
+func (s *concSolver) collectConfined() {
+	for _, pkg := range s.prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					mode := confinedMode(field.Doc)
+					if mode == "" {
+						mode = confinedMode(field.Comment)
+					}
+					if mode == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						v, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						s.confined[v] = &ConfinedField{
+							Field: v,
+							Mode:  mode,
+							Pos:   pkg.Fset.Position(name.Pos()),
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func confinedMode(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		if !strings.HasPrefix(c.Text, "//vet:confined") {
+			continue
+		}
+		mode := strings.TrimSpace(strings.TrimPrefix(c.Text, "//vet:confined"))
+		if mode == "shard" || mode == "gate" {
+			return mode
+		}
+	}
+	return ""
+}
+
+// collectTokens detects token channels: a channel-typed field or package
+// variable that one function body both bare-receives (acquire) and sends
+// (release), deferred literal sends included. The pairing inside a single
+// body is what separates a lock token (gate) from barrier plumbing (the
+// work/done channels, whose sends and receives live in different
+// functions).
+func (s *concSolver) collectTokens() {
+	for _, fn := range s.fns {
+		recv := make(map[types.Object]bool)
+		send := make(map[types.Object]bool)
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					return false
+				case *ast.FuncLit:
+					return false
+				case *ast.DeferStmt:
+					if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+						walk(lit.Body)
+					}
+					return false
+				case *ast.ExprStmt:
+					if u, ok := ast.Unparen(n.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						if obj := chanRefObject(fn.pkg.Info, u.X); obj != nil {
+							recv[obj] = true
+						}
+						return false
+					}
+				case *ast.SendStmt:
+					if obj := chanRefObject(fn.pkg.Info, n.Chan); obj != nil {
+						send[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		walk(fn.decl.Body)
+		for obj := range recv {
+			if send[obj] {
+				s.tokens[obj] = true
+			}
+		}
+	}
+}
+
+// chanRefObject resolves an expression naming a channel-typed field or
+// package-level variable to its declared object, or nil.
+func chanRefObject(info *types.Info, e ast.Expr) types.Object {
+	obj := refObject(info, e)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return obj
+}
+
+// refObject resolves a selector chain or identifier to the final named
+// variable object: the field for e.gate or c.srv.mu, the package variable
+// for a global, the local for a plain identifier.
+func refObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// collectReferences finds address-taken functions (used as values — stored
+// handlers, method values) and marks which functions have any in-program
+// caller; functions with neither are external entry points.
+func (s *concSolver) collectReferences() {
+	for _, pkg := range s.prog.Packages {
+		for _, f := range pkg.Files {
+			callFuns := make(map[ast.Expr]bool)
+			selSels := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					callFuns[ast.Unparen(n.Fun)] = true
+					for _, fn := range s.prog.CallGraph.Callees(pkg.Info, n) {
+						s.hasCaller[fn] = true
+					}
+				case *ast.SelectorExpr:
+					selSels[n.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if callFuns[n] {
+						return true
+					}
+					if fn, ok := pkg.Info.Uses[n.Sel].(*types.Func); ok {
+						s.addrTaken[fn] = true
+					}
+				case *ast.Ident:
+					if callFuns[n] || selSels[n] {
+						return true
+					}
+					if fn, ok := pkg.Info.Uses[n].(*types.Func); ok {
+						s.addrTaken[fn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// seedContexts creates one Goroutine per go statement, seeds spawned
+// functions with it, records spawn sites for the happens-before edge, and
+// marks external entry points.
+func (s *concSolver) seedContexts() {
+	for _, fn := range s.fns {
+		loopDepth := 0
+		var walk func(n ast.Node, inStoredLit bool)
+		walk = func(n ast.Node, inStoredLit bool) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loopDepth++
+					var body *ast.BlockStmt
+					if f, ok := n.(*ast.ForStmt); ok {
+						body = f.Body
+					} else {
+						body = n.(*ast.RangeStmt).Body
+					}
+					walk(body, inStoredLit)
+					loopDepth--
+					return false
+				case *ast.GoStmt:
+					g := &Goroutine{Pos: n.Pos(), SelfConcurrent: loopDepth > 0}
+					if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+						g.Label = fn.label + " goroutine literal"
+						s.litCtx[lit] = g
+						walk(lit.Body, inStoredLit) // nested spawns
+					} else {
+						for _, callee := range s.prog.CallGraph.Callees(fn.pkg.Info, n.Call) {
+							g.Label = funcLabel(callee)
+							if target := s.byObj[callee]; target != nil {
+								target.ctxs[g] = true
+								target.goEntry = true
+							}
+						}
+					}
+					if !inStoredLit {
+						s.spawns[fn.obj] = append(s.spawns[fn.obj], spawnRec{pos: n.Pos(), g: g})
+					}
+					for _, arg := range n.Call.Args {
+						walk(arg, inStoredLit)
+					}
+					return false
+				case *ast.FuncLit:
+					// Stored or passed literal: spawns inside it do not
+					// order against the enclosing body.
+					walk(n.Body, true)
+					return false
+				}
+				return true
+			})
+		}
+		walk(fn.decl.Body, false)
+	}
+	for _, fn := range s.fns {
+		if !s.hasCaller[fn.obj] || s.addrTaken[fn.obj] {
+			fn.root = true
+			fn.ctxs[s.external] = true
+			fn.entry = Lockset{}
+			fn.known = true
+		}
+		if fn.goEntry && !fn.known {
+			fn.entry = Lockset{}
+			fn.known = true
+		}
+	}
+}
+
+// concEdge is one context-propagation edge: a call from somewhere in a
+// function to callee, carrying either the caller's contexts (kind 0), one
+// specific goroutine (kind 1), or the external context (kind 2).
+type concEdge struct {
+	callee *types.Func
+	kind   int
+	g      *Goroutine
+}
+
+const (
+	edgeInherit = iota
+	edgeGoroutine
+	edgeExternal
+)
+
+// inheritLitCallers lists call targets whose function-literal argument runs
+// synchronously in the caller: the literal inherits contexts and locks
+// instead of being treated as an escaping callback.
+func inheritsLitArg(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort":
+			return true
+		case "sync":
+			return fn.Name() == "Do" // sync.Once.Do
+		}
+	}
+	return false
+}
+
+// callEdges walks one function body and produces its context-propagation
+// edges, classifying each call by the region it executes in.
+func (s *concSolver) callEdges(fn *concFn) []*concEdge {
+	var edges []*concEdge
+	info := fn.pkg.Info
+	add := func(call *ast.CallExpr, kind int, g *Goroutine) {
+		for _, callee := range s.prog.CallGraph.Callees(info, call) {
+			if s.byObj[callee] != nil {
+				edges = append(edges, &concEdge{callee: callee, kind: kind, g: g})
+			}
+		}
+	}
+	var walk func(n ast.Node, kind int, g *Goroutine)
+	walk = func(n ast.Node, kind int, g *Goroutine) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, edgeGoroutine, s.litCtx[lit])
+				}
+				// Non-literal go targets were seeded directly; argument
+				// expressions evaluate in the current region.
+				for _, arg := range n.Call.Args {
+					walk(arg, kind, g)
+				}
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, kind, g)
+				} else {
+					add(n.Call, kind, g)
+				}
+				for _, arg := range n.Call.Args {
+					walk(arg, kind, g)
+				}
+				return false
+			case *ast.CallExpr:
+				if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, kind, g)
+				} else {
+					add(n, kind, g)
+				}
+				inherit := inheritsLitArg(info, n)
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						if inherit {
+							walk(lit.Body, kind, g)
+						} else {
+							walk(lit.Body, edgeExternal, nil)
+						}
+						continue
+					}
+					walk(arg, kind, g)
+				}
+				return false
+			case *ast.FuncLit:
+				// Stored literal (assigned, returned): escapes to callers.
+				walk(n.Body, edgeExternal, nil)
+				return false
+			}
+			return true
+		})
+	}
+	walk(fn.decl.Body, edgeInherit, nil)
+	return edges
+}
+
+// propagateContexts runs the goroutine-context worklist to a fixpoint.
+func (s *concSolver) propagateContexts() {
+	edges := make(map[*concFn][]*concEdge, len(s.fns))
+	for _, fn := range s.fns {
+		edges[fn] = s.callEdges(fn)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, fn := range s.fns {
+			for _, e := range edges[fn] {
+				target := s.byObj[e.callee]
+				if target == nil {
+					continue
+				}
+				grow := func(g *Goroutine) {
+					if !target.ctxs[g] {
+						target.ctxs[g] = true
+						changed = true
+					}
+				}
+				switch e.kind {
+				case edgeInherit:
+					for g := range fn.ctxs {
+						grow(g)
+					}
+				case edgeGoroutine:
+					if e.g != nil {
+						grow(e.g)
+					}
+				case edgeExternal:
+					grow(s.external)
+				}
+				if !target.known {
+					// Reachable at all → it will get an entry lockset from
+					// the fixpoint; seed callbacks/goroutine literals'
+					// callees pessimistically there.
+					_ = target
+				}
+			}
+		}
+	}
+}
+
+// lockFixpoint computes entry locksets by iterated call-site meets:
+// roots start empty, goroutine entries start empty, everything else is the
+// intersection of what its callers hold at the call, skipping call sites
+// whose receiver is a freshly constructed, unshared object.
+func (s *concSolver) lockFixpoint() {
+	// Reset non-root entries.
+	for _, fn := range s.fns {
+		if fn.root || len(fn.ctxs) > 0 && fn.entry != nil && len(fn.entry) == 0 && s.isGoEntry(fn) {
+			continue
+		}
+		if !fn.root && !s.isGoEntry(fn) {
+			fn.entry = nil
+			fn.known = false
+		}
+	}
+	for round := 0; round < 12; round++ {
+		s.cand = make(map[*types.Func]Lockset)
+		s.candSeen = make(map[*types.Func]bool)
+		s.taintCand = make(map[*types.Var]int)
+		s.blessCand = make(map[*types.Var]int)
+		s.sendHeld = make(map[types.Object]Lockset)
+		s.sendHeldOK = make(map[types.Object]bool)
+		s.freshCand = make(map[*types.Func]int)
+		s.recvCand = make(map[*types.Var]types.Type)
+		s.recvSeen = make(map[*types.Var]bool)
+		s.recvBad = make(map[*types.Var]bool)
+		for _, fn := range s.fns {
+			if fn.known {
+				s.runBody(fn)
+			}
+		}
+		changed := false
+		for _, fn := range s.fns {
+			if fn.root || s.isGoEntry(fn) {
+				continue
+			}
+			meet, seen := s.cand[fn.obj], s.candSeen[fn.obj]
+			if !seen {
+				continue
+			}
+			if !fn.known || !equalLocks(fn.entry, meet) {
+				fn.entry = meet
+				fn.known = true
+				changed = true
+			}
+		}
+		for v, bits := range s.taintCand {
+			want := bits == 1
+			if s.paramTaint[v] != want {
+				s.paramTaint[v] = want
+				changed = true
+			}
+		}
+		for v, bits := range s.blessCand {
+			want := bits == 1
+			if s.paramBless[v] != want {
+				s.paramBless[v] = want
+				changed = true
+			}
+		}
+		for fnObj, bits := range s.freshCand {
+			want := bits == 1
+			if s.freshOnly[fnObj] != want {
+				s.freshOnly[fnObj] = want
+				changed = true
+			}
+		}
+		for _, fn := range s.fns {
+			sig, _ := fn.obj.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				continue
+			}
+			v := sig.Recv()
+			var want types.Type
+			if !fn.root && s.recvSeen[v] && !s.recvBad[v] {
+				want = s.recvCand[v]
+			}
+			cur := s.recvRegion[v]
+			if (want == nil) != (cur == nil) || (want != nil && cur != nil && !types.Identical(want, cur)) {
+				if want == nil {
+					delete(s.recvRegion, v)
+				} else {
+					s.recvRegion[v] = want
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Anything still unknown is unreachable from any entry; analyze it as
+	// an isolated root so its accesses are still collected.
+	for _, fn := range s.fns {
+		if !fn.known {
+			fn.entry = Lockset{}
+			fn.known = true
+			if len(fn.ctxs) == 0 {
+				fn.ctxs[s.external] = true
+			}
+		}
+	}
+}
+
+func (s *concSolver) isGoEntry(fn *concFn) bool {
+	return fn.goEntry && !fn.root
+}
+
+// detectBarriers looks for the dispatch-barrier protocol: a goroutine
+// parked on `case p := <-work:` that ends its region with `done <- tok`,
+// paired with a dispatcher that sends work and bare-receives done. The
+// locks the dispatcher holds at the send — demoted to ModeBarrier — are
+// inherited by the region.
+func (s *concSolver) detectBarriers() {
+	// Which functions send / bare-receive which channel fields.
+	sendIn := make(map[types.Object]map[*concFn]bool)
+	recvIn := make(map[types.Object]map[*concFn]bool)
+	for _, fn := range s.fns {
+		info := fn.pkg.Info
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if obj := chanRefObject(info, n.Chan); obj != nil {
+					if sendIn[obj] == nil {
+						sendIn[obj] = make(map[*concFn]bool)
+					}
+					sendIn[obj][fn] = true
+				}
+			case *ast.ExprStmt:
+				if u, ok := ast.Unparen(n.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					if obj := chanRefObject(info, u.X); obj != nil {
+						if recvIn[obj] == nil {
+							recvIn[obj] = make(map[*concFn]bool)
+						}
+						recvIn[obj][fn] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	seen := make(map[types.Object]bool)
+	for _, fn := range s.fns {
+		if !s.isGoEntry(fn) {
+			continue
+		}
+		info := fn.pkg.Info
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, c := range sel.Body.List {
+				cc := c.(*ast.CommClause)
+				workObj := commRecvObject(info, cc.Comm)
+				if workObj == nil || seen[workObj] {
+					continue
+				}
+				var doneObj types.Object
+				for _, st := range cc.Body {
+					if sd, ok := st.(*ast.SendStmt); ok {
+						if obj := chanRefObject(info, sd.Chan); obj != nil && obj != workObj {
+							doneObj = obj
+						}
+					}
+				}
+				if doneObj == nil {
+					continue
+				}
+				// A dispatcher sends work and bare-receives done.
+				dispatcher := false
+				for d := range sendIn[workObj] {
+					if recvIn[doneObj][d] {
+						dispatcher = true
+					}
+				}
+				if !dispatcher {
+					continue
+				}
+				held, ok := s.sendHeld[workObj]
+				if !ok || len(held) == 0 {
+					continue
+				}
+				locks := make(Lockset, len(held))
+				for k := range held {
+					locks[k] = ModeBarrier
+				}
+				seen[workObj] = true
+				s.barriers = append(s.barriers, &barrierSpec{
+					work:  workObj,
+					done:  doneObj,
+					locks: locks,
+				})
+			}
+			return true
+		})
+	}
+}
+
+// commRecvObject resolves a select comm statement receiving from a channel
+// field/var (with or without binding) to the channel object.
+func commRecvObject(info *types.Info, comm ast.Stmt) types.Object {
+	switch comm := comm.(type) {
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return chanRefObject(info, u.X)
+			}
+		}
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return chanRefObject(info, u.X)
+		}
+	}
+	return nil
+}
+
+func funcLabel(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return "(" + n.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

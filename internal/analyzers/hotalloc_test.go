@@ -2,6 +2,8 @@ package analyzers
 
 import (
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -21,24 +23,50 @@ func TestHotplantFixture(t *testing.T) {
 }
 
 // TestFixtureParity is the meta-test behind the fixture audit: every
-// registered analyzer must keep a testdata/src/<name> fixture package with
-// at least one Go file, so adding an analyzer without fixture coverage
-// fails here rather than shipping untested.
+// registered analyzer must keep a testdata/src/<name> fixture package
+// holding at least one positive expectation (a `// want` comment, proving
+// the analyzer fires) and at least one `//lint:allow <name>` directive
+// (proving its suppression path is exercised), so adding an analyzer
+// without two-sided fixture coverage fails here rather than shipping
+// untested.
 func TestFixtureParity(t *testing.T) {
+	wantRE := regexp.MustCompile(`//\s*want\s+`)
 	for _, a := range All() {
 		entries, err := os.ReadDir(fixture(a.Name))
 		if err != nil {
 			t.Errorf("analyzer %s has no fixture directory: %v", a.Name, err)
 			continue
 		}
-		goFiles := 0
+		allowMark := "//lint:allow " + a.Name
+		goFiles, wants, allows := 0, 0, 0
 		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-				goFiles++
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			goFiles++
+			src, err := os.ReadFile(filepath.Join(fixture(a.Name), e.Name()))
+			if err != nil {
+				t.Errorf("analyzer %s fixture %s unreadable: %v", a.Name, e.Name(), err)
+				continue
+			}
+			for _, line := range strings.Split(string(src), "\n") {
+				if wantRE.MatchString(line) {
+					wants++
+				}
+				if strings.Contains(line, allowMark) {
+					allows++
+				}
 			}
 		}
 		if goFiles == 0 {
 			t.Errorf("analyzer %s fixture directory holds no Go files", a.Name)
+			continue
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s fixture has no `// want` expectation: nothing proves the analyzer fires", a.Name)
+		}
+		if allows == 0 {
+			t.Errorf("analyzer %s fixture has no //lint:allow %s case: the suppression path is untested", a.Name, a.Name)
 		}
 	}
 }

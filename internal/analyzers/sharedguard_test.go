@@ -1,0 +1,138 @@
+package analyzers
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sendforget/internal/analyzers/framework"
+)
+
+func TestSharedguardFixture(t *testing.T) {
+	framework.RunFixture(t, fixture("sharedguard"), Sharedguard)
+}
+
+func TestShardconfineFixture(t *testing.T) {
+	framework.RunFixture(t, fixture("shardconfine"), Shardconfine)
+}
+
+func TestShardplantFixture(t *testing.T) {
+	framework.RunFixture(t, fixture("shardplant"), Shardconfine)
+}
+
+// The mirror of testdata/src/shardplant, compiled for real so the dynamic
+// side of the comparison actually runs: a gate/work/done engine whose
+// workers steal shard indexes from an atomic counter, with a cross-shard
+// write planted on a spill branch that needs ~a million bumps of one slot
+// to trigger.
+const plantSpillAt = 1 << 20
+
+type plantEngine struct {
+	gate   chan struct{}
+	work   chan int
+	done   chan struct{}
+	quit   chan struct{}
+	steal  atomic.Int64
+	shards int
+	counts []int
+}
+
+func newPlantEngine(shards int) *plantEngine {
+	p := &plantEngine{
+		gate:   make(chan struct{}, 1),
+		work:   make(chan int),
+		done:   make(chan struct{}),
+		quit:   make(chan struct{}),
+		shards: shards,
+	}
+	p.counts = make([]int, shards)
+	for i := 0; i < shards; i++ {
+		go p.worker()
+	}
+	p.gate <- struct{}{}
+	return p
+}
+
+func (p *plantEngine) worker() {
+	for {
+		select {
+		case inc := <-p.work:
+			for {
+				k := int(p.steal.Add(1)) - 1
+				if k >= p.shards {
+					break
+				}
+				p.counts[k] += inc
+				if p.counts[k] >= plantSpillAt {
+					p.counts[0]++ // the planted cross-shard write
+				}
+			}
+			p.done <- struct{}{}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *plantEngine) tick() {
+	<-p.gate
+	p.steal.Store(0)
+	for i := 0; i < p.shards; i++ {
+		p.work <- 1
+	}
+	for i := 0; i < p.shards; i++ {
+		<-p.done
+	}
+	p.gate <- struct{}{}
+}
+
+func (p *plantEngine) close() {
+	<-p.gate
+	close(p.quit)
+}
+
+// TestShardconfineCatchesWhatRaceMisses is the regression test the
+// shardconfine analyzer exists for, mirroring the hotalloc-vs-AllocsPerRun
+// test from PR 9: the planted cross-shard write sits on a spill branch no
+// small-n schedule takes, so a race-enabled run of the real engine
+// certifies it clean, while the static analyzer reports the write with its
+// barrier-phase context on every schedule of every size.
+func TestShardconfineCatchesWhatRaceMisses(t *testing.T) {
+	const shards, ticks = 4, 8
+	p := newPlantEngine(shards)
+	for i := 0; i < ticks; i++ {
+		p.tick()
+	}
+	p.close()
+
+	// Dynamic side: with the bug in place, every slot stays far below the
+	// spill threshold, the branch never runs, and the race detector (when
+	// this test runs under -race) has nothing to see.
+	for k, c := range p.counts {
+		if c != ticks {
+			t.Fatalf("counts[%d] = %d, want %d; the spill branch was supposed to stay cold", k, c, ticks)
+		}
+	}
+
+	// Static side: shardconfine reports the planted write regardless of
+	// which branches any particular schedule takes.
+	diags, err := framework.FixtureDiagnostics(fixture("shardplant"), Shardconfine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the planted write, got %d diagnostics: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "shardconfine" {
+		t.Errorf("diagnostic from %q, want shardconfine", d.Analyzer)
+	}
+	for _, part := range []string{
+		"write to shard-confined field counts",
+		"inside a barrier phase but not provably at the owning worker's shard index",
+	} {
+		if !strings.Contains(d.Message, part) {
+			t.Errorf("diagnostic %q missing %q", d.Message, part)
+		}
+	}
+}

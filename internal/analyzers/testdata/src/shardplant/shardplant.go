@@ -1,0 +1,93 @@
+// Package shardplant is the regression companion to the shardconfine
+// analyzer: a reduced sharded tick path with a cross-shard counter write
+// hidden on a spill branch that no small-n schedule takes. The compiled
+// mirror of this package passes `go test -race` — the branch stays cold at
+// test sizes — while the analyzer reports the write on every schedule.
+package shardplant
+
+import "sync/atomic"
+
+// spillAt is sized so the spill branch only runs after ~a million bumps of
+// one slot: far beyond anything a race-enabled test reaches.
+const spillAt = 1 << 20
+
+type plant struct {
+	gate   chan struct{}
+	work   chan int
+	done   chan struct{}
+	quit   chan struct{}
+	steal  atomic.Int64
+	shards int
+	counts []int //vet:confined shard
+}
+
+// NewPlant builds the engine and starts its workers.
+func NewPlant(shards int) *plant {
+	p := &plant{
+		gate:   make(chan struct{}, 1),
+		work:   make(chan int),
+		done:   make(chan struct{}),
+		quit:   make(chan struct{}),
+		shards: shards,
+	}
+	p.counts = make([]int, shards)
+	for i := 0; i < shards; i++ {
+		go p.worker()
+	}
+	p.gate <- struct{}{}
+	return p
+}
+
+// worker drains the steal counter each phase. The spill branch folds an
+// overflowing slot into slot zero — which belongs to whichever worker
+// stole index zero, not to this one.
+func (p *plant) worker() {
+	for {
+		select {
+		case inc := <-p.work:
+			for {
+				k := int(p.steal.Add(1)) - 1
+				if k >= p.shards {
+					break
+				}
+				p.counts[k] += inc
+				if p.counts[k] >= spillAt {
+					p.counts[0]++ // want `write to shard-confined field counts in \(plant\)\.worker inside a barrier phase but not provably at the owning worker's shard index`
+				}
+			}
+			p.done <- struct{}{}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Tick runs one phase under the gate.
+func (p *plant) Tick() {
+	<-p.gate
+	p.steal.Store(0)
+	for i := 0; i < p.shards; i++ {
+		p.work <- 1
+	}
+	for i := 0; i < p.shards; i++ {
+		<-p.done
+	}
+	p.gate <- struct{}{}
+}
+
+// Total reads the confined state under the gate token.
+func (p *plant) Total() int {
+	<-p.gate
+	total := 0
+	for _, v := range p.counts {
+		total += v
+	}
+	p.gate <- struct{}{}
+	return total
+}
+
+// Close takes the gate for good and stops the workers.
+func (p *plant) Close() {
+	<-p.gate
+	close(p.quit)
+}

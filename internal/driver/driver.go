@@ -36,7 +36,10 @@ import (
 // under Sends first and then lands in exactly one of Losses, DeadLetters,
 // or Deliveries, possibly after a stay in the delay queue (Delayed). Only
 // this package writes the fields; substrates read snapshots through
-// Router.Ledger or Router.Traffic.
+// Router.Ledger or Router.Traffic. A Router is single-owner state: each
+// substrate confines its router to one goroutine (or one barrier phase) at
+// a time, a contract the sharedguard and shardconfine analyzers enforce on
+// every access rather than one left to reviewer memory.
 type Ledger struct {
 	Sends       int // messages routed (including replies)
 	Losses      int // messages dropped by the fault layer (all conditions)

@@ -37,7 +37,11 @@ type LocalOptions struct {
 }
 
 // Local adapts a runtime.Substrate to the management Backend. All substrate
-// access is serialized under one mutex; see LocalOptions.Sub.
+// access is serialized under one mutex; see LocalOptions.Sub. The
+// single-owner rule is load-bearing rather than advisory: sharedguard
+// verifies that period, loss, and rounds are only ever touched under mu
+// (or before the daemon goroutines exist), so a new HTTP handler that
+// forgets the lock fails vet, not production.
 type Local struct {
 	opts LocalOptions
 

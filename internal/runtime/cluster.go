@@ -52,6 +52,11 @@ type ClusterConfig struct {
 // node removed mid-iteration is at worst ticked one extra time — which is
 // harmless (it only gossips into a network that no longer routes to it) —
 // and never a data race.
+//
+// sfvet's sharedguard analyzer checks this discipline statically: every
+// cross-goroutine access pair to these fields must be lock-excluded,
+// happens-before ordered, or provably confined, independent of which
+// schedules a -race run happens to take.
 type Cluster struct {
 	cfg ClusterConfig
 	net *transport.Network

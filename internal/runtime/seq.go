@@ -202,7 +202,7 @@ func (s *seqSubstrate) Traffic() metrics.Traffic {
 // Counters reports the protocol-event ledger in the shape the concurrent
 // backends use (reply sends count under Replies, not Sends, matching
 // Node.HandleMessage).
-func (s *seqSubstrate) Counters() NodeCounters { return s.cp.counters }
+func (s *seqSubstrate) Counters() NodeCounters         { return s.cp.counters }
 func (s *seqSubstrate) Conditions() *faults.Conditions { return s.eng.Conditions() }
 
 func (s *seqSubstrate) CheckInvariants() error {

@@ -105,9 +105,15 @@ func (nw *Network) Register(id peer.ID, h Handler) {
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	// The conflicting handlerFor read reached from the routable callback is
+	// also under nw.mu: the router invokes it only from Route/Deliverable,
+	// whose callers hold the lock (see NewNetworkWithConditions) — a
+	// cross-package contract the happens-before engine cannot see.
 	for int(id) >= len(nw.handlers) {
+		//lint:allow sharedguard router calls the routable callback under nw.mu (NewRouter contract)
 		nw.handlers = append(nw.handlers, nil)
 	}
+	//lint:allow sharedguard router calls the routable callback under nw.mu (NewRouter contract)
 	nw.handlers[id] = h
 }
 
